@@ -1,0 +1,63 @@
+/// \file bench_ablation_stream_order.cpp
+/// \brief Design-choice ablation (DESIGN.md #5): sensitivity of the streaming
+///        algorithms to the node arrival order. The paper streams "the
+///        natural given order"; the prioritized-streaming literature it cites
+///        (Awadelkarim & Ugander) shows order matters — this bench quantifies
+///        by how much for nh-OMS and Fennel.
+#include "bench/bench_common.hpp"
+
+#include "oms/graph/ordering.hpp"
+#include "oms/util/stats.hpp"
+
+int main() {
+  using namespace oms;
+  using namespace oms::bench;
+  const BenchEnv env = BenchEnv::from_env();
+  preamble("Ablation — stream order sensitivity (edge-cut vs natural order)", env);
+
+  const auto suite = benchmark_suite(env.scale);
+  const BlockId k = 256;
+  std::cout << "k = " << k << "; entries are geomean cut ratios vs the natural "
+               "order (>1 = worse).\n\n";
+
+  const StreamOrder orders[] = {StreamOrder::kNatural, StreamOrder::kRandom,
+                                StreamOrder::kBfs, StreamOrder::kDegreeAscending,
+                                StreamOrder::kDegreeDescending};
+
+  TablePrinter table({"order", "nh-OMS cut ratio", "Fennel cut ratio"});
+  std::vector<std::vector<double>> oms_cuts(5);
+  std::vector<std::vector<double>> fennel_cuts(5);
+  for (const auto& instance : suite) {
+    const CsrGraph graph = instance.make();
+    for (std::size_t o = 0; o < 5; ++o) {
+      const CsrGraph ordered =
+          o == 0 ? instance.make()
+                 : apply_order(graph, make_order(graph, orders[o], 123));
+      RunOptions options;
+      options.repetitions = env.repetitions;
+      options.threads = env.threads;
+      options.k_override = k;
+      oms_cuts[o].push_back(
+          std::max(run_algorithm(Algo::kNhOms, ordered, options).edge_cut, 1.0));
+      fennel_cuts[o].push_back(
+          std::max(run_algorithm(Algo::kFennel, ordered, options).edge_cut, 1.0));
+    }
+  }
+  for (std::size_t o = 0; o < 5; ++o) {
+    std::vector<double> oms_ratio;
+    std::vector<double> fennel_ratio;
+    for (std::size_t i = 0; i < oms_cuts[o].size(); ++i) {
+      oms_ratio.push_back(oms_cuts[o][i] / oms_cuts[0][i]);
+      fennel_ratio.push_back(fennel_cuts[o][i] / fennel_cuts[0][i]);
+    }
+    table.add_row({stream_order_name(orders[o]),
+                   TablePrinter::cell(geometric_mean(oms_ratio)) + "x",
+                   TablePrinter::cell(geometric_mean(fennel_ratio)) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nGenerated instances carry locality in their natural ids "
+               "(grids, spatially\nsorted Delaunay/RGG), so random order "
+               "typically hurts while BFS order helps\nslightly — consistent "
+               "with the restreaming literature the paper cites.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+/// \file bench_common.hpp
+/// \brief Shared plumbing for the per-figure/table bench binaries: env-driven
+///        scale/repetitions, the paper's k sweeps, and a standard preamble.
+///
+/// Environment knobs (all optional):
+///   OMS_BENCH_SCALE = small | medium | large   (instance sizes; default small)
+///   OMS_BENCH_REPS  = N                        (repetitions; default 3)
+///   OMS_BENCH_THREADS = N                      (threads for timed runs; default 1)
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "oms/benchlib/algorithms.hpp"
+#include "oms/benchlib/instances.hpp"
+#include "oms/util/env.hpp"
+#include "oms/util/table.hpp"
+
+namespace oms::bench {
+
+struct BenchEnv {
+  Scale scale = Scale::kSmall;
+  int repetitions = 3;
+  int threads = 1;
+
+  [[nodiscard]] static BenchEnv from_env() {
+    BenchEnv env;
+    env.scale = scale_from_env();
+    env.repetitions = static_cast<int>(env_or_int("OMS_BENCH_REPS", 3));
+    env.threads = static_cast<int>(env_or_int("OMS_BENCH_THREADS", 1));
+    return env;
+  }
+};
+
+/// The r values of the paper's S = 4:16:r sweep, scaled down so the default
+/// bench run finishes in minutes (paper: r in 1..128 -> k = 64..8192).
+[[nodiscard]] inline std::vector<std::int64_t> r_sweep(Scale scale) {
+  switch (scale) {
+    case Scale::kSmall: return {1, 4, 16};
+    case Scale::kMedium: return {1, 4, 16, 64};
+    case Scale::kLarge: return {1, 4, 16, 64, 128};
+  }
+  return {1, 4, 16};
+}
+
+/// k values for the general-partitioning experiments (paper: k = 64s).
+[[nodiscard]] inline std::vector<BlockId> k_sweep(Scale scale) {
+  std::vector<BlockId> ks;
+  for (const std::int64_t r : r_sweep(scale)) {
+    ks.push_back(static_cast<BlockId>(64 * r));
+  }
+  return ks;
+}
+
+inline void preamble(const char* experiment, const BenchEnv& env) {
+  std::cout << "=====================================================\n"
+            << experiment << "\n"
+            << "scale=" << scale_name(env.scale) << " reps=" << env.repetitions
+            << " threads=" << env.threads
+            << "  (env: OMS_BENCH_SCALE / OMS_BENCH_REPS / OMS_BENCH_THREADS)\n"
+            << "=====================================================\n";
+}
+
+} // namespace oms::bench

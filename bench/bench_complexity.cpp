@@ -1,0 +1,63 @@
+/// \file bench_complexity.cpp
+/// \brief Empirical verification of the complexity claims (Theorems 2-4):
+///        instrumented work counters versus k for Fennel (O(m + nk)),
+///        nh-OMS (O((m + nb) log_b k)) and OMS (O(ml + n sum a_i)).
+#include "bench/bench_common.hpp"
+
+#include <cmath>
+
+int main() {
+  using namespace oms;
+  using namespace oms::bench;
+  const BenchEnv env = BenchEnv::from_env();
+  preamble("Theorems 2-4 — measured work vs predicted work", env);
+
+  const CsrGraph graph = instance_by_name(env.scale, "citations-ba").make();
+  const auto n = static_cast<double>(graph.num_nodes());
+  const auto arcs = static_cast<double>(graph.num_arcs());
+  std::cout << "instance: citations-ba (n = " << graph.num_nodes()
+            << ", m = " << graph.num_edges() << "), base b = 4\n\n";
+
+  TablePrinter table({"k", "Fennel evals", "pred n*k", "nh-OMS evals",
+                      "pred n*b*ceil(log_b k)", "nh-OMS nbr visits",
+                      "pred 2m*ceil(log_b k)"});
+  for (const BlockId k : {64, 256, 1024, 4096}) {
+    RunOptions options;
+    options.repetitions = 1;
+    options.k_override = k;
+    const RunMetrics fennel = run_algorithm(Algo::kFennel, graph, options);
+    const RunMetrics nh_oms = run_algorithm(Algo::kNhOms, graph, options);
+    const double layers = std::ceil(std::log(static_cast<double>(k)) / std::log(4.0));
+    table.add_row({TablePrinter::cell(static_cast<std::int64_t>(k)),
+                   TablePrinter::cell(fennel.work.score_evaluations),
+                   TablePrinter::cell(n * static_cast<double>(k), 0),
+                   TablePrinter::cell(nh_oms.work.score_evaluations),
+                   TablePrinter::cell(n * 4 * layers, 0),
+                   TablePrinter::cell(nh_oms.work.neighbor_visits),
+                   TablePrinter::cell(arcs * layers, 0)});
+  }
+  table.print(std::cout);
+
+  // OMS with the paper hierarchy: predicted n * sum(a_i) evals, 2m*l visits.
+  std::cout << "\nOMS along S = 4:16:r (Theorem 2: O(m*l + n*sum a_i)):\n\n";
+  TablePrinter oms_table({"r", "OMS evals", "pred n*(4+16+r)", "OMS nbr visits",
+                          "pred 2m*3"});
+  for (const std::int64_t r : {2LL, 8LL, 32LL}) {
+    RunOptions options;
+    options.repetitions = 1;
+    options.topology = paper_topology(r);
+    const RunMetrics oms = run_algorithm(Algo::kOms, graph, options);
+    oms_table.add_row({TablePrinter::cell(r),
+                       TablePrinter::cell(oms.work.score_evaluations),
+                       TablePrinter::cell(n * static_cast<double>(4 + 16 + r), 0),
+                       TablePrinter::cell(oms.work.neighbor_visits),
+                       TablePrinter::cell(arcs * 3, 0)});
+  }
+  oms_table.print(std::cout);
+  std::cout << "\nMeasured counters must track the predictions within small "
+               "constants\n(capacity-skips make measured evals slightly lower; "
+               "single-child layers add\nnone). Fennel grows linearly in k, "
+               "the multi-section logarithmically — the\ncomplexity separation "
+               "behind the paper's two-orders-of-magnitude speedups.\n";
+  return 0;
+}

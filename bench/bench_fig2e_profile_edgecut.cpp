@@ -1,0 +1,47 @@
+/// \file bench_fig2e_profile_edgecut.cpp
+/// \brief Figure 2e: edge-cut performance profile for Hashing, nh-OMS,
+///        Fennel and KaMinParLite over all (instance, k) pairs.
+#include "bench/bench_common.hpp"
+
+#include "oms/util/stats.hpp"
+
+int main() {
+  using namespace oms;
+  using namespace oms::bench;
+  const BenchEnv env = BenchEnv::from_env();
+  preamble("Fig 2e — edge-cut performance profile", env);
+
+  const auto suite = benchmark_suite(env.scale);
+  PerformanceProfile profile;
+  for (const BlockId k : k_sweep(env.scale)) {
+    RunOptions options;
+    options.repetitions = env.repetitions;
+    options.threads = env.threads;
+    options.k_override = k;
+    for (const auto& instance : suite) {
+      const CsrGraph graph = instance.make();
+      const std::string key = instance.name + "/k" + std::to_string(k);
+      for (const Algo algo :
+           {Algo::kHashing, Algo::kNhOms, Algo::kFennel, Algo::kKaMinParLite}) {
+        profile.add(key, algo_name(algo),
+                    run_algorithm(algo, graph, options).edge_cut);
+      }
+    }
+  }
+
+  const std::vector<double> taus = {1, 1.05, 1.25, 2, 4, 8, 16, 32, 64, 128};
+  TablePrinter table({"tau", "Hashing", "nh-OMS", "Fennel", "KaMinParLite"});
+  for (const double tau : taus) {
+    table.add_row({TablePrinter::cell(tau),
+                   TablePrinter::cell(profile.fraction_within("Hashing", tau)),
+                   TablePrinter::cell(profile.fraction_within("nh-OMS", tau)),
+                   TablePrinter::cell(profile.fraction_within("Fennel", tau)),
+                   TablePrinter::cell(profile.fraction_within("KaMinParLite", tau))});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper (Fig 2e): KaMinPar smallest cut on all instances; "
+               "Fennel slightly better\nthan nh-OMS (the ~5% gap shows up as "
+               "nh-OMS catching up by tau ~ 1.05-1.25);\nboth far better than "
+               "Hashing.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+/// \file bench_fig3_scalability_pergraph.cpp
+/// \brief Figure 3: per-graph speedup and running time versus thread count
+///        for the three scalability instances (the paper plots soc-orkut-dir,
+///        HV15R and soc-LiveJournal1; we use the suite's social/mesh/web
+///        stand-ins).
+#include "bench/bench_common.hpp"
+
+#include "oms/util/parallel.hpp"
+
+int main() {
+  using namespace oms;
+  using namespace oms::bench;
+  const BenchEnv env = BenchEnv::from_env();
+  preamble("Fig 3 — per-graph speedup and running time vs threads", env);
+
+  const BlockId k = env.scale == Scale::kSmall
+                        ? 512
+                        : (env.scale == Scale::kMedium ? 2048 : 8192);
+  const std::int64_t r = k / 64;
+
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= hardware_threads(); t *= 2) {
+    thread_counts.push_back(t);
+  }
+
+  const std::vector<std::pair<Algo, const char*>> algos = {
+      {Algo::kHashing, "Hashing"},
+      {Algo::kNhOms, "nh-OMS"},
+      {Algo::kOms, "OMS"},
+      {Algo::kFennel, "Fennel"},
+  };
+
+  for (const auto& instance : scalability_suite(env.scale)) {
+    const CsrGraph graph = instance.make();
+    std::cout << "\n--- " << instance.name << " (n = " << graph.num_nodes()
+              << ", m = " << graph.num_edges() << ", k = " << k << ") ---\n";
+    TablePrinter table({"threads", "Hashing RT", "SU", "nh-OMS RT", "SU", "OMS RT",
+                        "SU", "Fennel RT", "SU"});
+    std::vector<double> base(algos.size(), 0.0);
+    for (const int threads : thread_counts) {
+      std::vector<std::string> row{
+          TablePrinter::cell(static_cast<std::int64_t>(threads))};
+      for (std::size_t a = 0; a < algos.size(); ++a) {
+        RunOptions options;
+        options.repetitions = env.repetitions;
+        options.threads = threads;
+        if (algos[a].first == Algo::kOms) {
+          options.topology = paper_topology(r);
+        } else {
+          options.k_override = k;
+        }
+        const double time = run_algorithm(algos[a].first, graph, options).time_s;
+        if (threads == 1) {
+          base[a] = time;
+        }
+        row.push_back(TablePrinter::cell(time, 4));
+        row.push_back(TablePrinter::cell(base[a] / time, 1));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\npaper (Fig 3): Fennel's curve rises steepest, Hashing stays "
+               "flat (<= 1x),\nOMS sits between nh-OMS and Fennel; OMS scales "
+               "better than nh-OMS because its\nwide subproblems (16-way, "
+               "r-way) keep more scoring work per cache line.\n";
+  return 0;
+}

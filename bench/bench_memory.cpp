@@ -1,0 +1,55 @@
+/// \file bench_memory.cpp
+/// \brief Section 4.1 memory comparison: streaming algorithms keep O(n + k)
+///        state while the internal-memory tools hold whole graph copies.
+///        The paper reports MBs for the streamers vs GBs for KaMinPar/IntMap
+///        on three graphs; we report the analytic state footprint plus the
+///        process peak RSS.
+#include "bench/bench_common.hpp"
+
+#include "oms/util/memory.hpp"
+
+int main() {
+  using namespace oms;
+  using namespace oms::bench;
+  const BenchEnv env = BenchEnv::from_env();
+  preamble("Sec 4.1 — memory requirements per algorithm", env);
+
+  const BlockId k = env.scale == Scale::kSmall ? 512 : 2048;
+  const std::int64_t r = k / 64;
+  std::cout << "k = " << k << "; 'state' = assignment + block weights (+ tree) "
+               "for streamers,\npeak live graph bytes for in-memory tools.\n\n";
+
+  TablePrinter table({"graph", "algorithm", "state [KB]", "graph CSR [KB]"});
+  for (const auto& instance : scalability_suite(env.scale)) {
+    const CsrGraph graph = instance.make();
+    const std::uint64_t graph_kb = graph.memory_footprint_bytes() / 1024;
+
+    const std::vector<std::pair<Algo, bool>> algos = {
+        {Algo::kHashing, false}, {Algo::kNhOms, false},   {Algo::kOms, true},
+        {Algo::kFennel, false},  {Algo::kKaMinParLite, false},
+        {Algo::kIntMapLite, true},
+    };
+    for (const auto& [algo, needs_topology] : algos) {
+      RunOptions options;
+      options.repetitions = 1;
+      options.threads = env.threads;
+      if (needs_topology) {
+        options.topology = paper_topology(r);
+      } else {
+        options.k_override = k;
+      }
+      const RunMetrics metrics = run_algorithm(algo, graph, options);
+      table.add_row({instance.name, algo_name(algo),
+                     TablePrinter::cell(metrics.state_bytes / 1024),
+                     TablePrinter::cell(graph_kb)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\ncurrent process peak RSS: " << peak_rss_bytes() / (1024 * 1024)
+            << " MB\n"
+            << "\npaper (Sec 4.1): on soc-orkut-dir / HV15R / soc-LiveJournal1 "
+               "the streaming\nalgorithms need 13-25 MB while KaMinPar needs "
+               "1.8-4.1 GB and IntMap 10-34 GB —\nthe streaming state is orders "
+               "of magnitude below the graph itself.\n";
+  return 0;
+}

@@ -1,0 +1,149 @@
+/// \file bench_micro.cpp
+/// \brief google-benchmark microbenchmarks for the hot paths: tree
+///        construction, leaf location, per-node assignment throughput of all
+///        streaming algorithms, and the mapping-objective evaluation.
+#include <benchmark/benchmark.h>
+
+#include "oms/core/multisection_tree.hpp"
+#include "oms/core/online_multisection.hpp"
+#include "oms/graph/generators.hpp"
+#include "oms/mapping/mapping_cost.hpp"
+#include "oms/partition/fennel.hpp"
+#include "oms/partition/hashing.hpp"
+#include "oms/partition/ldg.hpp"
+#include "oms/stream/one_pass_driver.hpp"
+
+namespace {
+
+using namespace oms;
+
+const CsrGraph& shared_graph() {
+  static const CsrGraph graph = gen::barabasi_albert(1u << 15, 6, 7);
+  return graph;
+}
+
+void BM_TreeBuildBSection(benchmark::State& state) {
+  const auto k = static_cast<BlockId>(state.range(0));
+  for (auto _ : state) {
+    MultisectionTree tree = MultisectionTree::b_section(k, 4);
+    benchmark::DoNotOptimize(tree.num_blocks());
+  }
+}
+BENCHMARK(BM_TreeBuildBSection)->Arg(64)->Arg(1024)->Arg(8192)->Arg(1 << 16);
+
+void BM_ChildIndexOfLeaf(benchmark::State& state) {
+  const MultisectionTree tree = MultisectionTree::b_section(8191, 4);
+  const auto& root = tree.root();
+  BlockId leaf = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.child_index_of_leaf(root, leaf));
+    leaf = (leaf + 37) % 8191;
+  }
+}
+BENCHMARK(BM_ChildIndexOfLeaf);
+
+void BM_LeafBlockId(benchmark::State& state) {
+  const MultisectionTree tree = MultisectionTree::b_section(8191, 4);
+  BlockId leaf = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.leaf_block_id(leaf));
+    leaf = (leaf + 37) % 8191;
+  }
+}
+BENCHMARK(BM_LeafBlockId);
+
+template <typename MakeAssigner>
+void stream_throughput(benchmark::State& state, MakeAssigner&& make) {
+  const CsrGraph& graph = shared_graph();
+  for (auto _ : state) {
+    auto assigner = make(graph);
+    const StreamResult r = run_one_pass(graph, *assigner, 1);
+    benchmark::DoNotOptimize(r.assignment.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.num_nodes()));
+}
+
+void BM_StreamHashing(benchmark::State& state) {
+  const auto k = static_cast<BlockId>(state.range(0));
+  stream_throughput(state, [k](const CsrGraph& g) {
+    PartitionConfig pc;
+    pc.k = k;
+    return std::make_unique<HashingPartitioner>(g.num_nodes(), g.total_node_weight(),
+                                                pc);
+  });
+}
+BENCHMARK(BM_StreamHashing)->Arg(256)->Arg(4096);
+
+void BM_StreamLdg(benchmark::State& state) {
+  const auto k = static_cast<BlockId>(state.range(0));
+  stream_throughput(state, [k](const CsrGraph& g) {
+    PartitionConfig pc;
+    pc.k = k;
+    return std::make_unique<LdgPartitioner>(g.num_nodes(), g.total_node_weight(), pc);
+  });
+}
+BENCHMARK(BM_StreamLdg)->Arg(256)->Arg(4096);
+
+void BM_StreamFennel(benchmark::State& state) {
+  const auto k = static_cast<BlockId>(state.range(0));
+  stream_throughput(state, [k](const CsrGraph& g) {
+    PartitionConfig pc;
+    pc.k = k;
+    return std::make_unique<FennelPartitioner>(g.num_nodes(), g.num_edges(),
+                                               g.total_node_weight(), pc);
+  });
+}
+BENCHMARK(BM_StreamFennel)->Arg(256)->Arg(4096);
+
+void BM_StreamNhOms(benchmark::State& state) {
+  const auto k = static_cast<BlockId>(state.range(0));
+  stream_throughput(state, [k](const CsrGraph& g) {
+    OmsConfig config;
+    return std::make_unique<OnlineMultisection>(g.num_nodes(), g.num_edges(),
+                                                g.total_node_weight(), k, config);
+  });
+}
+BENCHMARK(BM_StreamNhOms)->Arg(256)->Arg(4096);
+
+void BM_StreamOmsMapping(benchmark::State& state) {
+  const auto r = state.range(0);
+  stream_throughput(state, [r](const CsrGraph& g) {
+    const SystemHierarchy topo({4, 16, r}, {1, 10, 100});
+    OmsConfig config;
+    return std::make_unique<OnlineMultisection>(g.num_nodes(), g.num_edges(),
+                                                g.total_node_weight(), topo, config);
+  });
+}
+BENCHMARK(BM_StreamOmsMapping)->Arg(4)->Arg(64);
+
+void BM_MappingCost(benchmark::State& state) {
+  const CsrGraph& graph = shared_graph();
+  const SystemHierarchy topo({4, 16, 4}, {1, 10, 100});
+  std::vector<BlockId> mapping(graph.num_nodes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    mapping[u] = static_cast<BlockId>(u % static_cast<NodeId>(topo.num_pes()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapping_cost(graph, topo, mapping, 1));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.num_arcs()));
+}
+BENCHMARK(BM_MappingCost);
+
+void BM_PeDistance(benchmark::State& state) {
+  const SystemHierarchy topo({4, 16, 32}, {1, 10, 100});
+  BlockId x = 0;
+  BlockId y = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.distance(x, y));
+    x = (x + 13) % topo.num_pes();
+    y = (y + 29) % topo.num_pes();
+  }
+}
+BENCHMARK(BM_PeDistance);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+/// \file bench_tuning_hybrid.cpp
+/// \brief Parameter-tuning ablation (Section 4): the hybrid Fennel/Hashing
+///        configuration — solve the top h layers with Fennel, hash the rest.
+///
+/// Paper result: hashing the bottom 67% of the layers costs ~2.3x the edge
+/// cut and +27.5% mapping objective while saving 31.1% running time.
+#include "bench/bench_common.hpp"
+
+#include "oms/util/stats.hpp"
+
+int main() {
+  using namespace oms;
+  using namespace oms::bench;
+  const BenchEnv env = BenchEnv::from_env();
+  preamble("Tuning — hybrid Fennel/Hashing layer split (Theorem 3)", env);
+
+  const auto suite = benchmark_suite(env.scale);
+  // 3-level paper topology: h = 3 is fully scored, h = 1 hashes the bottom
+  // 2 of 3 layers (the paper's "67% of the layers" configuration).
+  const std::int64_t r = r_sweep(env.scale).back();
+  std::cout << "topology S = 4:16:" << r << " (3 layers)\n\n";
+
+  TablePrinter table({"h (scored layers)", "J vs h=3", "cut vs h=3", "time vs h=3"});
+  std::vector<double> base_j;
+  std::vector<double> base_cut;
+  std::vector<double> base_time;
+  for (const int h : {3, 2, 1, 0}) {
+    RunOptions options;
+    options.repetitions = env.repetitions;
+    options.threads = env.threads;
+    options.topology = paper_topology(r);
+    options.quality_layers = h;
+
+    std::vector<double> js;
+    std::vector<double> cuts;
+    std::vector<double> times;
+    for (const auto& instance : suite) {
+      const CsrGraph graph = instance.make();
+      const RunMetrics metrics = run_algorithm(Algo::kOms, graph, options);
+      js.push_back(metrics.mapping_cost);
+      cuts.push_back(std::max(metrics.edge_cut, 1.0));
+      times.push_back(metrics.time_s);
+    }
+    if (h == 3) {
+      base_j = js;
+      base_cut = cuts;
+      base_time = times;
+    }
+    std::vector<double> j_ratio;
+    std::vector<double> cut_ratio;
+    std::vector<double> time_ratio;
+    for (std::size_t i = 0; i < js.size(); ++i) {
+      j_ratio.push_back(js[i] / base_j[i]);
+      cut_ratio.push_back(cuts[i] / base_cut[i]);
+      time_ratio.push_back(times[i] / base_time[i]);
+    }
+    table.add_row({TablePrinter::cell(static_cast<std::int64_t>(h)),
+                   TablePrinter::cell(geometric_mean(j_ratio)) + "x",
+                   TablePrinter::cell(geometric_mean(cut_ratio)) + "x",
+                   TablePrinter::cell(geometric_mean(time_ratio)) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper (67% of layers hashed, h=1 here): 2.3x cut, 1.275x J, "
+               "0.69x time\nrelative to the fully scored configuration — a "
+               "quality/speed dial, not a win.\n";
+  return 0;
+}

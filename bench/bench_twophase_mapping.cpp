@@ -1,0 +1,94 @@
+/// \file bench_twophase_mapping.cpp
+/// \brief Beyond the paper's identity baseline: how much of OMS's mapping
+///        advantage survives when the two-phase competitors get a *real*
+///        second phase — greedy block-to-PE construction (GreedyAllC-style)
+///        and pairwise-swap refinement (Brandfass-style) on top of a
+///        hierarchy-oblivious partition?
+///
+/// The paper compares OMS against "Fennel which ignores the given hierarchy"
+/// (block i -> PE i). This bench adds the stronger offline pipelines the
+/// related-work section describes, at their extra cost.
+#include "bench/bench_common.hpp"
+
+#include "oms/mapping/mapping_cost.hpp"
+#include "oms/multilevel/block_swap.hpp"
+#include "oms/multilevel/greedy_mapping.hpp"
+#include "oms/partition/fennel.hpp"
+#include "oms/util/stats.hpp"
+#include "oms/util/timer.hpp"
+
+int main() {
+  using namespace oms;
+  using namespace oms::bench;
+  const BenchEnv env = BenchEnv::from_env();
+  preamble("Two-phase mapping — OMS vs partition-then-map pipelines", env);
+
+  const auto suite = benchmark_suite(env.scale);
+  const std::int64_t r = 2;
+  const SystemHierarchy topo = paper_topology(r);
+  std::cout << "topology " << topo.to_string() << " (k = " << topo.num_pes()
+            << ")\n\n";
+
+  std::vector<double> identity_ratio, greedy_ratio, swap_ratio, time_identity,
+      time_swap, time_oms;
+  for (const auto& instance : suite) {
+    const CsrGraph graph = instance.make();
+    RunOptions options;
+    options.repetitions = env.repetitions;
+    options.threads = env.threads;
+    options.topology = topo;
+
+    const RunMetrics oms = run_algorithm(Algo::kOms, graph, options);
+    time_oms.push_back(oms.time_s);
+
+    // Phase 1: hierarchy-oblivious Fennel partition (timed separately).
+    PartitionConfig pc;
+    pc.k = topo.num_pes();
+    FennelPartitioner fennel(graph.num_nodes(), graph.num_edges(),
+                             graph.total_node_weight(), pc);
+    Timer phase1;
+    const StreamResult fr = run_one_pass(graph, fennel, env.threads);
+    const double fennel_time = phase1.elapsed_s();
+    time_identity.push_back(fennel_time);
+
+    // Phase 2a: identity (the paper's baseline).
+    const double j_identity =
+        static_cast<double>(mapping_cost(graph, topo, fr.assignment));
+    // Phase 2b: greedy construction.
+    std::vector<BlockId> greedy = fr.assignment;
+    Timer phase2;
+    apply_greedy_mapping(graph, greedy, topo);
+    const double j_greedy =
+        static_cast<double>(mapping_cost(graph, topo, greedy));
+    // Phase 2c: greedy + swap refinement.
+    std::vector<BlockId> swapped = greedy;
+    BlockSwapConfig swap;
+    swap_refine_mapping(graph, topo, swapped, swap);
+    const double j_swap = static_cast<double>(mapping_cost(graph, topo, swapped));
+    time_swap.push_back(fennel_time + phase2.elapsed_s());
+
+    identity_ratio.push_back(j_identity / oms.mapping_cost);
+    greedy_ratio.push_back(j_greedy / oms.mapping_cost);
+    swap_ratio.push_back(j_swap / oms.mapping_cost);
+  }
+
+  TablePrinter table({"pipeline", "J vs OMS", "time vs OMS"});
+  table.add_row({"OMS (single streaming pass)", "1.00x", "1.00x"});
+  table.add_row({"Fennel + identity (paper baseline)",
+                 TablePrinter::cell(geometric_mean(identity_ratio)) + "x",
+                 TablePrinter::cell(geometric_mean(time_identity) /
+                                    geometric_mean(time_oms)) + "x"});
+  table.add_row({"Fennel + greedy construction",
+                 TablePrinter::cell(geometric_mean(greedy_ratio)) + "x", "(+)"});
+  table.add_row({"Fennel + greedy + swap refinement",
+                 TablePrinter::cell(geometric_mean(swap_ratio)) + "x",
+                 TablePrinter::cell(geometric_mean(time_swap) /
+                                    geometric_mean(time_oms)) + "x"});
+  table.print(std::cout);
+  std::cout << "\nOMS bakes the hierarchy into the partitioning itself; even "
+               "after a proper\nsecond phase, the two-phase pipelines pay "
+               "Fennel's O(nk) pass *plus* the QAP\nrefinement and should not "
+               "fully close the quality gap (cf. the integrated-vs-\ntwo-phase "
+               "comparison in the paper's reference [12]).\n";
+  return 0;
+}

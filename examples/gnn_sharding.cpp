@@ -1,0 +1,81 @@
+/// \file gnn_sharding.cpp
+/// \brief The motivating scenario from the paper's introduction: hierarchical
+///        partitionings for "distributed hybrid CPU and GPU training of graph
+///        neural networks on billion-scale graphs" [41] — at laptop scale.
+///
+/// A social-network graph is sharded across a cluster of machines, each
+/// hosting several GPUs: hierarchy S = gpus_per_machine : machines. Mini-batch
+/// GNN training pays for every edge whose endpoints live on different GPUs —
+/// much more when the GPUs sit in different machines (NVLink vs Ethernet).
+/// The example compares single-pass sharding strategies by estimated epoch
+/// communication.
+///
+///   $ ./examples/gnn_sharding [machines] [gpus_per_machine]
+#include <cstdlib>
+#include <iostream>
+
+#include "oms/core/online_multisection.hpp"
+#include "oms/graph/generators.hpp"
+#include "oms/mapping/mapping_cost.hpp"
+#include "oms/partition/fennel.hpp"
+#include "oms/partition/hashing.hpp"
+#include "oms/partition/metrics.hpp"
+#include "oms/stream/one_pass_driver.hpp"
+#include "oms/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace oms;
+
+  const std::int64_t machines = argc > 1 ? std::atol(argv[1]) : 8;
+  const std::int64_t gpus = argc > 2 ? std::atol(argv[2]) : 4;
+  // NVLink-ish intra-machine cost 1, Ethernet-ish cross-machine cost 20.
+  const SystemHierarchy cluster({gpus, machines}, {1, 20});
+
+  std::cout << "Cluster: " << machines << " machines x " << gpus
+            << " GPUs (k = " << cluster.num_pes() << " shards)\n";
+  const CsrGraph social = gen::barabasi_albert(1u << 17, 8, /*seed=*/2022);
+  std::cout << "Social graph: n = " << social.num_nodes()
+            << ", m = " << social.num_edges() << " (BA, skewed degrees)\n\n";
+
+  TablePrinter table({"sharding", "epoch comm (J)", "cross-machine edges",
+                      "cut edges", "time [ms]"});
+
+  const auto report = [&](const char* name, const std::vector<BlockId>& shard,
+                          double seconds) {
+    const auto volume = per_level_volume(social, cluster, shard);
+    table.add_row({name, TablePrinter::cell(mapping_cost(social, cluster, shard)),
+                   TablePrinter::cell(volume[2] / 2),
+                   TablePrinter::cell(edge_cut(social, shard)),
+                   TablePrinter::cell(seconds * 1e3)});
+  };
+
+  {
+    OmsConfig config;
+    OnlineMultisection oms(social.num_nodes(), social.num_edges(),
+                           social.total_node_weight(), cluster, config);
+    const StreamResult r = run_one_pass(social, oms, 1);
+    report("OMS (topology-aware)", r.assignment, r.elapsed_s);
+  }
+  {
+    PartitionConfig pc;
+    pc.k = cluster.num_pes();
+    FennelPartitioner fennel(social.num_nodes(), social.num_edges(),
+                             social.total_node_weight(), pc);
+    const StreamResult r = run_one_pass(social, fennel, 1);
+    report("Fennel (flat k-way)", r.assignment, r.elapsed_s);
+  }
+  {
+    PartitionConfig pc;
+    pc.k = cluster.num_pes();
+    HashingPartitioner hashing(social.num_nodes(), social.total_node_weight(), pc);
+    const StreamResult r = run_one_pass(social, hashing, 1);
+    report("Hashing (random)", r.assignment, r.elapsed_s);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nA topology-aware single-pass shard keeps hot subgraphs inside "
+               "machines:\nsame ingest cost as Fennel-style streaming, but the "
+               "expensive cross-machine\ntraffic drops because the multi-section "
+               "splits across machines *first*.\n";
+  return 0;
+}

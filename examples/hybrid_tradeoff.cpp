@@ -1,0 +1,59 @@
+/// \file hybrid_tradeoff.cpp
+/// \brief Explore the paper's hybrid mapping (Section 3.2): solve the top h
+///        multi-section layers with Fennel and the rest with Hashing, and
+///        watch quality trade against running time (Theorem 3).
+///
+///   $ ./examples/hybrid_tradeoff
+#include <iostream>
+
+#include "oms/core/online_multisection.hpp"
+#include "oms/graph/generators.hpp"
+#include "oms/mapping/mapping_cost.hpp"
+#include "oms/partition/metrics.hpp"
+#include "oms/stream/one_pass_driver.hpp"
+#include "oms/util/table.hpp"
+
+int main() {
+  using namespace oms;
+
+  // Deep hierarchy so there are many layers to hybridize: 4:4:4:4 = 256 PEs.
+  const SystemHierarchy topo({4, 4, 4, 4}, {1, 5, 25, 125});
+  const CsrGraph comm = gen::delaunay(1u << 16, /*seed=*/7);
+  std::cout << "Communication graph: del16 (n = " << comm.num_nodes()
+            << ", m = " << comm.num_edges() << ")\n"
+            << "Topology: " << topo.to_string() << " (k = " << topo.num_pes()
+            << ")\n\n"
+            << "quality_layers = h: top h layers scored with Fennel, "
+               "remaining layers hashed\n\n";
+
+  TablePrinter table(
+      {"h", "J(C,D,Pi)", "edge-cut", "time [ms]", "score evals", "J vs full"});
+  Cost j_full = 0;
+  for (int h = 4; h >= 0; --h) {
+    OmsConfig config;
+    config.quality_layers = h;
+    OnlineMultisection oms(comm.num_nodes(), comm.num_edges(),
+                           comm.total_node_weight(), topo, config);
+    const StreamResult r = run_one_pass(comm, oms, 1);
+    const Cost j = mapping_cost(comm, topo, r.assignment);
+    if (h == 4) {
+      j_full = j;
+    }
+    table.add_row({TablePrinter::cell(static_cast<std::int64_t>(h)),
+                   TablePrinter::cell(j),
+                   TablePrinter::cell(edge_cut(comm, r.assignment)),
+                   TablePrinter::cell(r.elapsed_s * 1e3),
+                   TablePrinter::cell(r.work.score_evaluations),
+                   TablePrinter::cell(static_cast<double>(j) /
+                                      static_cast<double>(j_full)) +
+                       "x"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nHashing the *bottom* layers is cheap on the objective because "
+               "bottom-layer\nmistakes only pay the small intra-module "
+               "distances — the paper found hashing\n67% of the layers costs "
+               "+27.5% J but saves 31% time; hashing everything\n(h = 0) "
+               "degrades J sharply.\n";
+  return 0;
+}

@@ -1,0 +1,199 @@
+/// \file partition_tool.cpp
+/// \brief Command-line streaming partitioner over METIS files — the shape of
+///        tool a downstream user would run in an ingest pipeline.
+///
+/// Usage:
+///   partition_tool <graph.metis> --k 64
+///                  [--algo oms|fennel|ldg|hashing|window|buffered]
+///                  [--hierarchy 4:16:2 --distances 1:10:100]
+///                  [--epsilon 0.03] [--threads 1] [--seed 1]
+///                  [--output partition.txt] [--from-disk]
+///
+/// With --hierarchy the tool solves process mapping (OMS) and reports J;
+/// without it, plain k-way partitioning. --from-disk streams the file node
+/// by node without ever materializing the graph (O(n + k) memory; one-pass
+/// algorithms only). window/buffered use the in-memory graph for lookahead.
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "oms/buffered/buffered_partitioner.hpp"
+#include "oms/core/online_multisection.hpp"
+#include "oms/graph/io.hpp"
+#include "oms/mapping/mapping_cost.hpp"
+#include "oms/partition/fennel.hpp"
+#include "oms/partition/hashing.hpp"
+#include "oms/partition/ldg.hpp"
+#include "oms/partition/metrics.hpp"
+#include "oms/stream/metis_stream.hpp"
+#include "oms/stream/window_partitioner.hpp"
+#include "oms/util/memory.hpp"
+#include "oms/util/timer.hpp"
+
+namespace {
+
+struct Options {
+  std::string graph_path;
+  std::string algo = "oms";
+  oms::BlockId k = 0;
+  std::optional<std::string> hierarchy;
+  std::string distances = "1:10:100";
+  double epsilon = 0.03;
+  int threads = 1;
+  std::uint64_t seed = 1;
+  std::string output;
+  bool from_disk = false;
+};
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: partition_tool <graph.metis> --k K [--algo "
+               "oms|fennel|ldg|hashing]\n"
+               "                      [--hierarchy a1:a2:... --distances "
+               "d1:d2:...]\n"
+               "                      [--epsilon E] [--threads T] [--seed S]\n"
+               "                      [--output FILE] [--from-disk]\n";
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  if (argc < 2) {
+    usage();
+  }
+  opt.graph_path = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+      }
+      return argv[++i];
+    };
+    if (arg == "--k") {
+      opt.k = static_cast<oms::BlockId>(std::stol(value()));
+    } else if (arg == "--algo") {
+      opt.algo = value();
+    } else if (arg == "--hierarchy") {
+      opt.hierarchy = value();
+    } else if (arg == "--distances") {
+      opt.distances = value();
+    } else if (arg == "--epsilon") {
+      opt.epsilon = std::stod(value());
+    } else if (arg == "--threads") {
+      opt.threads = std::stoi(value());
+    } else if (arg == "--seed") {
+      opt.seed = std::stoull(value());
+    } else if (arg == "--output") {
+      opt.output = value();
+    } else if (arg == "--from-disk") {
+      opt.from_disk = true;
+    } else {
+      usage();
+    }
+  }
+  return opt;
+}
+
+std::unique_ptr<oms::OnePassAssigner> make_assigner(const Options& opt, oms::NodeId n,
+                                                    oms::EdgeIndex m,
+                                                    oms::NodeWeight total_weight) {
+  using namespace oms;
+  PartitionConfig pc;
+  pc.k = opt.k;
+  pc.epsilon = opt.epsilon;
+  pc.seed = opt.seed;
+  if (opt.algo == "fennel") {
+    return std::make_unique<FennelPartitioner>(n, m, total_weight, pc);
+  }
+  if (opt.algo == "ldg") {
+    return std::make_unique<LdgPartitioner>(n, total_weight, pc);
+  }
+  if (opt.algo == "hashing") {
+    return std::make_unique<HashingPartitioner>(n, total_weight, pc);
+  }
+  if (opt.algo == "oms") {
+    OmsConfig config;
+    config.epsilon = opt.epsilon;
+    config.seed = opt.seed;
+    if (opt.hierarchy.has_value()) {
+      const SystemHierarchy topo =
+          SystemHierarchy::parse(*opt.hierarchy, opt.distances);
+      return std::make_unique<OnlineMultisection>(n, m, total_weight, topo, config);
+    }
+    return std::make_unique<OnlineMultisection>(n, m, total_weight, opt.k, config);
+  }
+  usage();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace oms;
+  Options opt = parse_args(argc, argv);
+
+  std::optional<SystemHierarchy> topo;
+  if (opt.hierarchy.has_value()) {
+    topo = SystemHierarchy::parse(*opt.hierarchy, opt.distances);
+    opt.k = topo->num_pes();
+  }
+  if (opt.k < 1) {
+    std::cerr << "error: need --k or --hierarchy\n";
+    return 2;
+  }
+
+  StreamResult result;
+  Timer total;
+  if (opt.from_disk) {
+    // True streaming: only the header is read ahead of time.
+    MetisNodeStream probe(opt.graph_path);
+    const MetisHeader header = probe.header();
+    auto assigner = make_assigner(opt, header.num_nodes, header.num_edges,
+                                  static_cast<NodeWeight>(header.num_nodes));
+    result = run_one_pass_from_file(opt.graph_path, *assigner);
+    std::cout << "streamed " << header.num_nodes << " nodes from disk"
+              << " (peak RSS " << peak_rss_bytes() / (1024 * 1024) << " MB)\n";
+    std::cout << "assignment time: " << result.elapsed_s << " s (total "
+              << total.elapsed_s() << " s)\n";
+  } else {
+    const CsrGraph graph = read_metis(opt.graph_path);
+    if (opt.algo == "window") {
+      WindowConfig wc;
+      wc.epsilon = opt.epsilon;
+      wc.seed = opt.seed;
+      WindowPartitioner window(graph.num_nodes(), graph.total_node_weight(), graph,
+                               wc, opt.k);
+      result = run_one_pass(graph, window, 1);
+    } else if (opt.algo == "buffered") {
+      BufferedConfig bc;
+      bc.epsilon = opt.epsilon;
+      bc.seed = opt.seed;
+      const BufferedResult br = buffered_partition(graph, opt.k, bc);
+      result.assignment = br.assignment;
+      result.elapsed_s = br.elapsed_s;
+    } else {
+      auto assigner = make_assigner(opt, graph.num_nodes(), graph.num_edges(),
+                                    graph.total_node_weight());
+      result = run_one_pass(graph, *assigner, opt.threads);
+    }
+    std::cout << "n = " << graph.num_nodes() << ", m = " << graph.num_edges()
+              << ", k = " << opt.k << ", algo = " << opt.algo << "\n";
+    std::cout << "edge-cut:  " << edge_cut(graph, result.assignment) << "\n";
+    std::cout << "imbalance: " << imbalance(graph, result.assignment, opt.k) << "\n";
+    if (topo.has_value()) {
+      std::cout << "mapping J: "
+                << mapping_cost(graph, *topo, result.assignment, opt.threads) << "\n";
+    }
+    std::cout << "time:      " << result.elapsed_s << " s\n";
+  }
+
+  if (!opt.output.empty()) {
+    std::ofstream out(opt.output);
+    for (const BlockId b : result.assignment) {
+      out << b << '\n';
+    }
+    std::cout << "partition written to " << opt.output << "\n";
+  }
+  return 0;
+}

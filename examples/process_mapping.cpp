@@ -1,0 +1,108 @@
+/// \file process_mapping.cpp
+/// \brief Map the processes of a simulated MPI application onto a
+///        hierarchical supercomputer topology, streaming the communication
+///        graph once — the paper's headline application.
+///
+/// The communication graph is a 2D stencil halo-exchange pattern (the
+/// classic workload for topology mapping), the topology is the paper's
+/// S = 4:16:r with D = 1:10:100. Compares OMS against hierarchy-oblivious
+/// Fennel and Hashing, and shows where each mapping pays its communication.
+///
+///   $ ./examples/process_mapping [r]
+#include <cstdlib>
+#include <iostream>
+
+#include "oms/core/online_multisection.hpp"
+#include "oms/graph/generators.hpp"
+#include "oms/mapping/mapping_cost.hpp"
+#include "oms/partition/fennel.hpp"
+#include "oms/partition/hashing.hpp"
+#include "oms/stream/one_pass_driver.hpp"
+#include "oms/util/table.hpp"
+
+namespace {
+
+void print_level_breakdown(const oms::CsrGraph& graph,
+                           const oms::SystemHierarchy& topo,
+                           const std::vector<oms::BlockId>& mapping,
+                           const char* name) {
+  const auto volume = oms::per_level_volume(graph, topo, mapping);
+  std::cout << "  " << name << ": intra-PE " << volume[0];
+  const char* level_names[] = {"intra-processor", "intra-node", "cross-node"};
+  for (std::size_t level = 1; level < volume.size(); ++level) {
+    std::cout << ", " << level_names[level - 1] << " " << volume[level];
+  }
+  std::cout << "\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace oms;
+
+  const std::int64_t r = argc > 1 ? std::atol(argv[1]) : 2;
+  const SystemHierarchy topo({4, 16, r}, {1, 10, 100});
+  std::cout << "Topology: " << topo.to_string() << "  (k = " << topo.num_pes()
+            << " PEs: " << r << " nodes x 16 processors x 4 cores)\n";
+
+  // Halo-exchange communication pattern: a 384x256 process grid where each
+  // process talks to its 4 stencil neighbors.
+  const CsrGraph comm = gen::grid_2d(384, 256);
+  std::cout << "Communication graph: 2D stencil, n = " << comm.num_nodes()
+            << " processes, m = " << comm.num_edges() << " pairs\n\n";
+
+  TablePrinter table({"algorithm", "J(C,D,Pi)", "time [ms]", "J vs OMS"});
+  Cost j_oms = 0;
+  std::vector<BlockId> oms_mapping;
+  std::vector<BlockId> fennel_mapping;
+  std::vector<BlockId> hashing_mapping;
+
+  {
+    OmsConfig config;
+    OnlineMultisection oms(comm.num_nodes(), comm.num_edges(),
+                           comm.total_node_weight(), topo, config);
+    const StreamResult result = run_one_pass(comm, oms, 1);
+    oms_mapping = result.assignment;
+    j_oms = mapping_cost(comm, topo, oms_mapping);
+    table.add_row({"OMS", TablePrinter::cell(j_oms),
+                   TablePrinter::cell(result.elapsed_s * 1e3), "1.00x"});
+  }
+  {
+    PartitionConfig pc;
+    pc.k = topo.num_pes();
+    FennelPartitioner fennel(comm.num_nodes(), comm.num_edges(),
+                             comm.total_node_weight(), pc);
+    const StreamResult result = run_one_pass(comm, fennel, 1);
+    fennel_mapping = result.assignment;
+    const Cost j = mapping_cost(comm, topo, fennel_mapping);
+    table.add_row({"Fennel (block i -> PE i)", TablePrinter::cell(j),
+                   TablePrinter::cell(result.elapsed_s * 1e3),
+                   TablePrinter::cell(static_cast<double>(j) /
+                                      static_cast<double>(j_oms)) +
+                       "x"});
+  }
+  {
+    PartitionConfig pc;
+    pc.k = topo.num_pes();
+    HashingPartitioner hashing(comm.num_nodes(), comm.total_node_weight(), pc);
+    const StreamResult result = run_one_pass(comm, hashing, 1);
+    hashing_mapping = result.assignment;
+    const Cost j = mapping_cost(comm, topo, hashing_mapping);
+    table.add_row({"Hashing (block i -> PE i)", TablePrinter::cell(j),
+                   TablePrinter::cell(result.elapsed_s * 1e3),
+                   TablePrinter::cell(static_cast<double>(j) /
+                                      static_cast<double>(j_oms)) +
+                       "x"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nWhere each mapping pays (communication volume per level):\n";
+  print_level_breakdown(comm, topo, oms_mapping, "OMS    ");
+  print_level_breakdown(comm, topo, fennel_mapping, "Fennel ");
+  print_level_breakdown(comm, topo, hashing_mapping, "Hashing");
+  std::cout << "\nOMS pushes volume down the hierarchy (cheap intra-processor "
+               "links)\nbecause its top-layer split happens first — exactly the "
+               "top-down order\nin which communication costs decrease "
+               "(Section 3.1 of the paper).\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// \file algorithms.hpp
+/// \brief Unified runner over every algorithm the paper evaluates, so each
+///        bench binary can sweep algorithms x instances x k uniformly.
+///
+/// Evaluation conventions follow Section 4:
+///  * process-mapping experiments use S = 4:16:r, D = 1:10:100, k = 64r;
+///    streaming partitioners that ignore the hierarchy (Hashing, Fennel,
+///    KaMinParLite) map block i onto PE i;
+///  * repetitions use distinct seeds; objective and time are averaged
+///    arithmetically per instance; instances aggregate by geometric mean.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "oms/graph/csr_graph.hpp"
+#include "oms/mapping/hierarchy.hpp"
+#include "oms/types.hpp"
+#include "oms/util/work_counters.hpp"
+
+namespace oms::bench {
+
+enum class Algo {
+  kHashing,
+  kLdg,
+  kFennel,
+  kOms,         ///< online multi-section along the given hierarchy
+  kNhOms,       ///< online b-section, no hierarchy (general partitioning)
+  kKaMinParLite,///< internal-memory multilevel reference
+  kIntMapLite,  ///< internal-memory integrated mapping reference
+};
+
+[[nodiscard]] const char* algo_name(Algo algo) noexcept;
+
+/// Everything measured for one (algorithm, instance, k) cell, averaged over
+/// repetitions.
+struct RunMetrics {
+  double time_s = 0.0;
+  double edge_cut = 0.0;
+  double mapping_cost = 0.0; ///< 0 unless a topology was supplied
+  bool balanced = true;
+  WorkCounters work;         ///< from the last repetition (deterministic shape)
+  std::uint64_t state_bytes = 0; ///< streaming state (0 for in-memory algorithms)
+};
+
+struct RunOptions {
+  int repetitions = 3;
+  int threads = 1;
+  std::uint64_t seed = 1;
+  double epsilon = 0.03;
+  /// Present for process-mapping experiments; absent for pure partitioning
+  /// (then k_override gives the block count).
+  std::optional<SystemHierarchy> topology;
+  BlockId k_override = 0;
+  /// OMS knobs (forwarded to OmsConfig).
+  bool adapted_alpha = true;
+  int base = 4;
+  int quality_layers = 1 << 20;
+  bool oms_use_ldg = false;
+};
+
+/// Run \p algo under \p options; aborts on invalid combinations (e.g. kOms
+/// without a topology).
+[[nodiscard]] RunMetrics run_algorithm(Algo algo, const CsrGraph& graph,
+                                       const RunOptions& options);
+
+/// The paper's standard mapping topology for a given r: S = 4:16:r,
+/// D = 1:10:100 (k = 64 r).
+[[nodiscard]] SystemHierarchy paper_topology(std::int64_t r);
+
+} // namespace oms::bench

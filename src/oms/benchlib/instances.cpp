@@ -1,0 +1,123 @@
+#include "oms/benchlib/instances.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "oms/graph/generators.hpp"
+#include "oms/util/assert.hpp"
+#include "oms/util/env.hpp"
+
+namespace oms::bench {
+
+Scale scale_from_env() {
+  const std::string value = env_or("OMS_BENCH_SCALE", "small");
+  if (value == "medium") {
+    return Scale::kMedium;
+  }
+  if (value == "large") {
+    return Scale::kLarge;
+  }
+  return Scale::kSmall;
+}
+
+const char* scale_name(Scale scale) noexcept {
+  switch (scale) {
+    case Scale::kSmall: return "small";
+    case Scale::kMedium: return "medium";
+    case Scale::kLarge: return "large";
+  }
+  return "unknown";
+}
+
+std::vector<InstanceSpec> benchmark_suite(Scale scale) {
+  // Linear size multiplier relative to the small scale; "large" approaches
+  // the lower end of the paper's instance sizes.
+  const NodeId f = scale == Scale::kSmall ? 1 : (scale == Scale::kMedium ? 4 : 16);
+  const auto side = [f](NodeId base) {
+    // sqrt-scaled side length for 2D grids.
+    NodeId s = base;
+    NodeId mult = f;
+    while (mult >= 4) {
+      s *= 2;
+      mult /= 4;
+    }
+    if (mult == 2) {
+      s = static_cast<NodeId>(static_cast<double>(s) * 1.41);
+    }
+    return s;
+  };
+
+  std::vector<InstanceSpec> suite;
+  // Meshes (Dubcova1 / ML_Laplace / HV15R analogues).
+  suite.push_back({"mesh2d", "Meshes",
+                   [=] { return gen::grid_2d(side(128), side(128)); }});
+  suite.push_back({"mesh3d", "Meshes", [=] {
+                     const auto s = static_cast<NodeId>(
+                         26.0 * std::pow(static_cast<double>(f), 1.0 / 3.0));
+                     return gen::grid_3d(s, s, s);
+                   }});
+  suite.push_back({"delaunay", "Artificial",
+                   [=] { return gen::delaunay(16384 * f, 0xDE1A); }});
+  suite.push_back({"rgg", "Artificial",
+                   [=] { return gen::random_geometric(16384 * f, 0x4667); }});
+  // Social networks (soc-LiveJournal / orkut analogues).
+  suite.push_back({"social-ba", "Social",
+                   [=] { return gen::barabasi_albert(20000 * f, 8, 0x50C1); }});
+  // Citations (coAuthorsDBLP / cit-Patents analogues).
+  suite.push_back({"citations-ba", "Citations",
+                   [=] { return gen::barabasi_albert(30000 * f, 3, 0xC17E); }});
+  // Web crawls (eu-2005 / web-Google analogues).
+  suite.push_back({"web-rmat", "Web", [=] {
+                     std::uint32_t s = 14;
+                     NodeId mult = f;
+                     while (mult > 1) {
+                       ++s;
+                       mult /= 2;
+                     }
+                     return gen::rmat(s, 8, 0x3EB5);
+                   }});
+  // Circuits (hcircuit / FullChip analogues: very sparse, skewed).
+  suite.push_back({"circuit-rmat", "Circuit", [=] {
+                     std::uint32_t s = 15;
+                     NodeId mult = f;
+                     while (mult > 1) {
+                       ++s;
+                       mult /= 2;
+                     }
+                     return gen::rmat(s, 2, 0xC14C, 0.45, 0.22, 0.22);
+                   }});
+  // Road networks (italy-osm / great-britain-osm analogues).
+  suite.push_back({"roads", "Roads",
+                   [=] { return gen::road_network(side(150), side(150), 0x0AD5); }});
+  // Small-world miscellany (ca-hollywood-style high clustering).
+  suite.push_back({"smallworld", "Misc",
+                   [=] { return gen::watts_strogatz(20000 * f, 5, 0.1, 0x5A11); }});
+  return suite;
+}
+
+std::vector<InstanceSpec> scalability_suite(Scale scale) {
+  // The heaviest representatives, mirroring the paper's choice of
+  // soc-orkut-dir, HV15R and soc-LiveJournal1 (social, mesh, social).
+  std::vector<InstanceSpec> all = benchmark_suite(scale);
+  std::vector<InstanceSpec> picks;
+  for (const auto& name : {"social-ba", "mesh3d", "web-rmat"}) {
+    for (auto& spec : all) {
+      if (spec.name == name) {
+        picks.push_back(spec);
+      }
+    }
+  }
+  return picks;
+}
+
+InstanceSpec instance_by_name(Scale scale, const std::string& name) {
+  for (auto& spec : benchmark_suite(scale)) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  OMS_ASSERT_MSG(false, "unknown benchmark instance");
+  return {};
+}
+
+} // namespace oms::bench

@@ -1,0 +1,41 @@
+/// \file instances.hpp
+/// \brief The benchmark instance registry: generated stand-ins for the
+///        paper's Table 1 families (meshes, circuits, citations, web, social,
+///        roads, artificial rgg/del), at three scales so the full suite runs
+///        in minutes by default (`OMS_BENCH_SCALE=small|medium|large`).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "oms/graph/csr_graph.hpp"
+
+namespace oms::bench {
+
+struct InstanceSpec {
+  std::string name;
+  std::string family; ///< Table 1 "Type" column analogue
+  std::function<CsrGraph()> make;
+};
+
+enum class Scale { kSmall, kMedium, kLarge };
+
+/// Parse OMS_BENCH_SCALE (default small).
+[[nodiscard]] Scale scale_from_env();
+
+[[nodiscard]] const char* scale_name(Scale scale) noexcept;
+
+/// The full suite (one instance per family and size class, mirroring how
+/// Table 1 spans families); ~11 instances per scale.
+[[nodiscard]] std::vector<InstanceSpec> benchmark_suite(Scale scale);
+
+/// The subset used by the scalability experiments (Table 2 / Fig. 3): the
+/// largest instances of the suite, analogous to the paper's ">= 2M node"
+/// selection.
+[[nodiscard]] std::vector<InstanceSpec> scalability_suite(Scale scale);
+
+/// Look a single instance up by name (aborts if unknown).
+[[nodiscard]] InstanceSpec instance_by_name(Scale scale, const std::string& name);
+
+} // namespace oms::bench

@@ -1,0 +1,195 @@
+#include "oms/buffered/buffered_partitioner.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "oms/util/assert.hpp"
+#include "oms/util/random.hpp"
+#include "oms/util/timer.hpp"
+
+namespace oms {
+namespace {
+
+/// Joint optimization state for one buffer [begin, end).
+///
+/// The HeiStream model graph is: the buffer-induced subgraph, plus one
+/// super-node per block standing for everything assigned in earlier buffers.
+/// We keep the model implicit — for each buffer node we gather (a) edges to
+/// earlier, already-assigned neighbors, bucketed by their block ("super
+/// edges"), and (b) edges to other buffer nodes, resolved against the
+/// evolving in-buffer assignment.
+class BufferModel {
+public:
+  BufferModel(const CsrGraph& graph, BlockId k, NodeWeight lmax,
+              std::vector<BlockId>& assignment, std::vector<NodeWeight>& block_weight)
+      : graph_(graph),
+        k_(k),
+        lmax_(lmax),
+        assignment_(assignment),
+        block_weight_(block_weight),
+        gather_(static_cast<std::size_t>(k), 0) {}
+
+  void set_range(NodeId begin, NodeId end) {
+    begin_ = begin;
+    end_ = end;
+  }
+
+  /// Connection weight of \p u to every block, counting assigned neighbors
+  /// both outside (committed) and inside (tentative) the buffer.
+  /// Returns the touched blocks; weights are in gather().
+  const std::vector<BlockId>& gather_connections(NodeId u) {
+    for (const BlockId b : touched_) {
+      gather_[static_cast<std::size_t>(b)] = 0;
+    }
+    touched_.clear();
+    const auto neigh = graph_.neighbors(u);
+    const auto weights = graph_.incident_weights(u);
+    for (std::size_t i = 0; i < neigh.size(); ++i) {
+      const BlockId b = assignment_[neigh[i]];
+      if (b == kInvalidBlock) {
+        continue; // future node (or not yet placed in this buffer)
+      }
+      if (gather_[static_cast<std::size_t>(b)] == 0) {
+        touched_.push_back(b);
+      }
+      gather_[static_cast<std::size_t>(b)] += weights[i];
+    }
+    return touched_;
+  }
+
+  [[nodiscard]] EdgeWeight connection(BlockId b) const {
+    return gather_[static_cast<std::size_t>(b)];
+  }
+
+  /// Greedy initial placement: LDG-style multiplicative penalty over the
+  /// model connections (cheap, respects remaining capacity).
+  void place_initially() {
+    for (NodeId u = begin_; u < end_; ++u) {
+      const auto& touched = gather_connections(u);
+      BlockId best = kInvalidBlock;
+      double best_score = -1.0;
+      NodeWeight best_weight = 0;
+      for (const BlockId b : touched) {
+        const NodeWeight w = block_weight_[static_cast<std::size_t>(b)];
+        if (w + graph_.node_weight(u) > lmax_) {
+          continue;
+        }
+        const double score =
+            static_cast<double>(connection(b)) *
+            (1.0 - static_cast<double>(w) / static_cast<double>(lmax_));
+        if (score > best_score ||
+            (score == best_score && w < best_weight)) {
+          best = b;
+          best_score = score;
+          best_weight = w;
+        }
+      }
+      if (best == kInvalidBlock || best_score <= 0.0) {
+        // No (feasible) connected block: take the globally lightest one so
+        // empty blocks fill up and balance is always attainable.
+        best = 0;
+        for (BlockId b = 1; b < k_; ++b) {
+          if (block_weight_[static_cast<std::size_t>(b)] <
+              block_weight_[static_cast<std::size_t>(best)]) {
+            best = b;
+          }
+        }
+      }
+      commit(u, best);
+    }
+  }
+
+  /// Fixed-vertex label propagation over the buffer: earlier buffers are
+  /// immutable (they are the super-nodes), buffer nodes may move while the
+  /// balance constraint keeps holding.
+  std::size_t refine(int iterations, Rng& rng) {
+    std::vector<NodeId> order(end_ - begin_);
+    std::iota(order.begin(), order.end(), begin_);
+    std::size_t total_moved = 0;
+    for (int iteration = 0; iteration < iterations; ++iteration) {
+      rng.shuffle(order);
+      std::size_t moved = 0;
+      for (const NodeId u : order) {
+        const BlockId current = assignment_[u];
+        const auto& touched = gather_connections(u);
+        const EdgeWeight internal = connection(current);
+        BlockId best = current;
+        EdgeWeight best_connection = internal;
+        NodeWeight best_weight = block_weight_[static_cast<std::size_t>(current)];
+        for (const BlockId b : touched) {
+          if (b == current) {
+            continue;
+          }
+          if (block_weight_[static_cast<std::size_t>(b)] + graph_.node_weight(u) >
+              lmax_) {
+            continue;
+          }
+          const EdgeWeight conn = connection(b);
+          if (conn > best_connection ||
+              (conn == best_connection &&
+               block_weight_[static_cast<std::size_t>(b)] < best_weight)) {
+            best = b;
+            best_connection = conn;
+            best_weight = block_weight_[static_cast<std::size_t>(b)];
+          }
+        }
+        if (best != current) {
+          block_weight_[static_cast<std::size_t>(current)] -= graph_.node_weight(u);
+          block_weight_[static_cast<std::size_t>(best)] += graph_.node_weight(u);
+          assignment_[u] = best;
+          ++moved;
+        }
+      }
+      total_moved += moved;
+      if (moved == 0) {
+        break;
+      }
+    }
+    return total_moved;
+  }
+
+private:
+  void commit(NodeId u, BlockId b) {
+    assignment_[u] = b;
+    block_weight_[static_cast<std::size_t>(b)] += graph_.node_weight(u);
+  }
+
+  const CsrGraph& graph_;
+  BlockId k_;
+  NodeWeight lmax_;
+  std::vector<BlockId>& assignment_;
+  std::vector<NodeWeight>& block_weight_;
+  std::vector<EdgeWeight> gather_;
+  std::vector<BlockId> touched_;
+  NodeId begin_ = 0;
+  NodeId end_ = 0;
+};
+
+} // namespace
+
+BufferedResult buffered_partition(const CsrGraph& graph, BlockId k,
+                                  const BufferedConfig& config) {
+  OMS_ASSERT(k >= 1);
+  OMS_ASSERT(config.buffer_size >= 1);
+  const NodeWeight lmax =
+      max_block_weight(graph.total_node_weight(), k, config.epsilon);
+
+  BufferedResult result;
+  result.assignment.assign(graph.num_nodes(), kInvalidBlock);
+  std::vector<NodeWeight> block_weight(static_cast<std::size_t>(k), 0);
+
+  Timer timer;
+  Rng rng(config.seed);
+  BufferModel model(graph, k, lmax, result.assignment, block_weight);
+  for (NodeId begin = 0; begin < graph.num_nodes(); begin += config.buffer_size) {
+    const NodeId end = std::min<NodeId>(begin + config.buffer_size, graph.num_nodes());
+    model.set_range(begin, end);
+    model.place_initially();
+    model.refine(config.refinement_iterations, rng);
+    ++result.buffers_processed;
+  }
+  result.elapsed_s = timer.elapsed_s();
+  return result;
+}
+
+} // namespace oms

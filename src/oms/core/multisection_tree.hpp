@@ -1,0 +1,110 @@
+/// \file multisection_tree.hpp
+/// \brief The hierarchy of blocks and sub-blocks the online recursive
+///        multi-section descends (paper Sections 3.1 and 3.3).
+///
+/// Two construction modes:
+///  * regular(extents_top_down): one layer per hierarchy level — the root has
+///    a_l children, each of those a_{l-1}, ...; used when a topology
+///    S = a1:...:al is given (process mapping / OMS);
+///  * b_section(k, b): Algorithm 2's artificial hierarchy for arbitrary k —
+///    every block covering t > 1 final blocks gets min(b, t) children whose
+///    leaf ranges split as evenly as possible, larger ranges first (this is
+///    exactly the paper's midpoint split for b = 2); used for general graph
+///    partitioning (nh-OMS).
+///
+/// Every block stores the half-open range [leaf_begin, leaf_end) of final
+/// blocks it covers. From that range, finalize() derives the heterogeneous
+/// capacity t * Lmax and the adapted Fennel constant alpha / sqrt(t)
+/// (Section 3.3: the alpha of a block is "sqrt(t) times smaller than the
+/// alpha from the original k-way partitioning problem").
+///
+/// Lemma 1: with all extents >= 2 the tree holds at most 2k blocks, so block
+/// weights take O(k) space.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "oms/types.hpp"
+#include "oms/util/assert.hpp"
+
+namespace oms {
+
+class MultisectionTree {
+public:
+  struct Block {
+    std::int32_t parent = -1;      ///< -1 for the root
+    std::int32_t first_child = -1; ///< children are contiguous; -1 for leaves
+    std::int32_t num_children = 0;
+    BlockId leaf_begin = 0; ///< first final block covered
+    BlockId leaf_end = 0;   ///< one past the last final block covered
+    std::int32_t depth = 0; ///< root = 0
+    NodeWeight capacity = 0;
+    double alpha = 0.0;
+
+    [[nodiscard]] BlockId num_leaves() const noexcept { return leaf_end - leaf_begin; }
+    [[nodiscard]] bool is_leaf() const noexcept { return num_children == 0; }
+  };
+
+  /// Regular hierarchy; \p extents_top_down = (a_l, a_{l-1}, ..., a_1).
+  /// Extents of 1 are allowed (the paper's S = 4:16:r sweep includes r = 1)
+  /// and produce single-child pass-through layers.
+  [[nodiscard]] static MultisectionTree regular(
+      std::span<const std::int64_t> extents_top_down);
+
+  /// Algorithm 2 generalized to base \p b >= 2 for arbitrary \p k >= 1.
+  [[nodiscard]] static MultisectionTree b_section(BlockId k, int base);
+
+  /// Compute capacities (t * Lmax) and per-block Fennel alphas. With
+  /// \p adapted_alpha false, every block keeps the flat k-way alpha (the
+  /// ablation baseline the paper tunes against).
+  void finalize(NodeWeight lmax, double alpha_global, bool adapted_alpha);
+
+  [[nodiscard]] const Block& root() const noexcept { return blocks_.front(); }
+  [[nodiscard]] const Block& block(std::size_t id) const noexcept {
+    OMS_HEAVY_ASSERT(id < blocks_.size());
+    return blocks_[id];
+  }
+  [[nodiscard]] std::size_t num_blocks() const noexcept { return blocks_.size(); }
+  [[nodiscard]] BlockId num_final_blocks() const noexcept { return k_; }
+  [[nodiscard]] std::int32_t height() const noexcept { return height_; }
+
+  /// Index (within \p parent's children) of the child whose leaf range
+  /// contains \p leaf. O(1): children split the parent range evenly with the
+  /// larger parts first.
+  [[nodiscard]] std::int32_t child_index_of_leaf(const Block& parent,
+                                                 BlockId leaf) const noexcept {
+    OMS_HEAVY_ASSERT(leaf >= parent.leaf_begin && leaf < parent.leaf_end);
+    const std::int64_t t = parent.num_leaves();
+    const std::int64_t c = parent.num_children;
+    const std::int64_t small = t / c;
+    const std::int64_t big = t % c; // first `big` children cover small+1 leaves
+    const std::int64_t offset = leaf - parent.leaf_begin;
+    if (offset < big * (small + 1)) {
+      return static_cast<std::int32_t>(offset / (small + 1));
+    }
+    return static_cast<std::int32_t>(big + (offset - big * (small + 1)) / small);
+  }
+
+  /// Tree-block id of the leaf covering final block \p leaf (descends from
+  /// the root in O(height)).
+  [[nodiscard]] std::size_t leaf_block_id(BlockId leaf) const noexcept;
+
+  /// Sum over internal blocks of their child counts — the paper's
+  /// sum_i prod_{r>=i} a_r bound from Lemma 1 is num_blocks() - 1.
+  [[nodiscard]] std::size_t num_non_root_blocks() const noexcept {
+    return blocks_.size() - 1;
+  }
+
+private:
+  /// \p children_of(depth, num_leaves) -> child count for an internal block.
+  template <typename ChildCount>
+  void build(ChildCount&& children_of);
+
+  std::vector<Block> blocks_;
+  BlockId k_ = 0;
+  std::int32_t height_ = 0;
+};
+
+} // namespace oms

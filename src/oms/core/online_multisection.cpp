@@ -1,0 +1,195 @@
+#include "oms/core/online_multisection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "oms/partition/partition_config.hpp"
+#include "oms/util/random.hpp"
+
+namespace oms {
+namespace {
+
+[[nodiscard]] MultisectionTree make_finalized_tree(MultisectionTree tree, NodeId n,
+                                                   EdgeIndex m,
+                                                   NodeWeight total_node_weight,
+                                                   const OmsConfig& config) {
+  const BlockId k = tree.num_final_blocks();
+  const NodeWeight lmax = max_block_weight(total_node_weight, k, config.epsilon);
+  const double alpha_global =
+      config.alpha_override.value_or(FennelParams::standard(n, m, k).alpha);
+  tree.finalize(lmax, alpha_global, config.adapted_alpha);
+  return tree;
+}
+
+} // namespace
+
+OnlineMultisection::OnlineMultisection(NodeId num_nodes, EdgeIndex num_edges,
+                                       NodeWeight total_node_weight,
+                                       const SystemHierarchy& topology,
+                                       const OmsConfig& config)
+    : OnlineMultisection(
+          num_nodes, num_edges, total_node_weight,
+          MultisectionTree::regular(topology.extents_top_down()), config) {}
+
+OnlineMultisection::OnlineMultisection(NodeId num_nodes, EdgeIndex num_edges,
+                                       NodeWeight total_node_weight, BlockId k,
+                                       const OmsConfig& config)
+    : OnlineMultisection(num_nodes, num_edges, total_node_weight,
+                         MultisectionTree::b_section(k, config.base), config) {}
+
+OnlineMultisection::OnlineMultisection(NodeId num_nodes, EdgeIndex num_edges,
+                                       NodeWeight total_node_weight,
+                                       MultisectionTree tree, const OmsConfig& config)
+    : tree_(make_finalized_tree(std::move(tree), num_nodes, num_edges,
+                                total_node_weight, config)),
+      config_(config),
+      assignment_(num_nodes, kInvalidBlock),
+      weights_(tree_.num_blocks()) {
+  for (std::size_t id = 0; id < tree_.num_blocks(); ++id) {
+    max_children_ = std::max(max_children_, tree_.block(id).num_children);
+  }
+}
+
+void OnlineMultisection::prepare(int num_threads) {
+  scratch_.assign(static_cast<std::size_t>(num_threads),
+                  std::vector<EdgeWeight>(static_cast<std::size_t>(max_children_), 0));
+}
+
+BlockId OnlineMultisection::assign(const StreamedNode& node, int thread_id,
+                                   WorkCounters& counters) {
+  auto& gathered = scratch_[static_cast<std::size_t>(thread_id)];
+
+  std::size_t current = 0; // root
+  while (!tree_.block(current).is_leaf()) {
+    const MultisectionTree::Block& parent = tree_.block(current);
+    const auto children = static_cast<std::size_t>(parent.num_children);
+    const ScorerKind scorer = (parent.depth < config_.quality_layers)
+                                  ? config_.scorer
+                                  : ScorerKind::kHashing;
+
+    // Gather neighbor attraction per candidate child. Hashing ignores the
+    // neighborhood entirely (that is what makes the hybrid layers cheap —
+    // Theorem 3's O(1) per hashed layer).
+    if (scorer != ScorerKind::kHashing) {
+      std::fill_n(gathered.begin(), children, EdgeWeight{0});
+      for (std::size_t i = 0; i < node.neighbors.size(); ++i) {
+        counters.neighbor_visits += 1;
+        const BlockId leaf = assignment_[node.neighbors[i]];
+        if (leaf == kInvalidBlock || leaf < parent.leaf_begin ||
+            leaf >= parent.leaf_end) {
+          continue; // unassigned, or assigned outside this subtree
+        }
+        const std::int32_t child = tree_.child_index_of_leaf(parent, leaf);
+        gathered[static_cast<std::size_t>(child)] += node.edge_weights[i];
+      }
+    }
+
+    const std::int32_t choice = pick_child(
+        parent, node, std::span<const EdgeWeight>(gathered.data(), children), scorer,
+        current, counters);
+    const auto child_id = static_cast<std::size_t>(parent.first_child + choice);
+    weights_.add(child_id, node.weight);
+    counters.layers_traversed += 1;
+    current = child_id;
+  }
+
+  const BlockId final_block = tree_.block(current).leaf_begin;
+  assignment_[node.id] = final_block;
+  return final_block;
+}
+
+std::int32_t OnlineMultisection::pick_child(const MultisectionTree::Block& parent,
+                                            const StreamedNode& node,
+                                            std::span<const EdgeWeight> gathered,
+                                            ScorerKind scorer, std::size_t parent_id,
+                                            WorkCounters& counters) const {
+  const std::int32_t children = parent.num_children;
+  const auto first = static_cast<std::size_t>(parent.first_child);
+  if (children == 1) {
+    return 0; // pass-through layer (extent 1 in the hierarchy)
+  }
+
+  if (scorer == ScorerKind::kHashing) {
+    // One hash, then forward probing on capacity overflow (same balance
+    // fallback as the flat Hashing baseline).
+    const std::uint64_t h = hash_combine(
+        static_cast<std::uint64_t>(node.id) ^ config_.seed, parent_id);
+    const auto start = static_cast<std::int32_t>(
+        h % static_cast<std::uint64_t>(children));
+    counters.score_evaluations += 1;
+    for (std::int32_t probe = 0; probe < children; ++probe) {
+      const std::int32_t idx = (start + probe) % children;
+      const MultisectionTree::Block& child = tree_.block(first +
+                                                         static_cast<std::size_t>(idx));
+      if (weights_.load(first + static_cast<std::size_t>(idx)) + node.weight <=
+          child.capacity) {
+        return idx;
+      }
+    }
+  } else {
+    std::int32_t best = -1;
+    double best_score = 0.0;
+    NodeWeight best_weight = 0;
+    for (std::int32_t idx = 0; idx < children; ++idx) {
+      counters.score_evaluations += 1;
+      const std::size_t child_id = first + static_cast<std::size_t>(idx);
+      const MultisectionTree::Block& child = tree_.block(child_id);
+      const NodeWeight w = weights_.load(child_id);
+      if (w + node.weight > child.capacity) {
+        continue;
+      }
+      double score = 0.0;
+      const auto attraction =
+          static_cast<double>(gathered[static_cast<std::size_t>(idx)]);
+      if (scorer == ScorerKind::kFennel) {
+        score = attraction - fennel_penalty(child.alpha, 1.5, w);
+      } else { // LDG
+        score = attraction *
+                (1.0 - static_cast<double>(w) / static_cast<double>(child.capacity));
+      }
+      if (best < 0 || score > best_score ||
+          (score == best_score && w < best_weight)) {
+        best = idx;
+        best_score = score;
+        best_weight = w;
+      }
+    }
+    if (best >= 0) {
+      return best;
+    }
+  }
+
+  // Every child is (transiently, under parallel overshoot) at capacity:
+  // take the one with the most remaining room.
+  std::int32_t fallback = 0;
+  NodeWeight best_room = std::numeric_limits<NodeWeight>::min();
+  for (std::int32_t idx = 0; idx < children; ++idx) {
+    const std::size_t child_id = first + static_cast<std::size_t>(idx);
+    const NodeWeight room = tree_.block(child_id).capacity - weights_.load(child_id);
+    if (room > best_room) {
+      best_room = room;
+      fallback = idx;
+    }
+  }
+  return fallback;
+}
+
+void OnlineMultisection::unassign(NodeId u, NodeWeight weight) {
+  const BlockId leaf = assignment_[u];
+  OMS_ASSERT_MSG(leaf != kInvalidBlock, "unassign of a never-assigned node");
+  std::size_t id = tree_.leaf_block_id(leaf);
+  while (tree_.block(id).parent >= 0) {
+    weights_.add(id, -weight);
+    id = static_cast<std::size_t>(tree_.block(id).parent);
+  }
+  assignment_[u] = kInvalidBlock;
+}
+
+std::uint64_t OnlineMultisection::state_bytes() const noexcept {
+  return static_cast<std::uint64_t>(assignment_.capacity() * sizeof(BlockId) +
+                                    weights_.size() * sizeof(NodeWeight) +
+                                    tree_.num_blocks() * sizeof(MultisectionTree::Block));
+}
+
+} // namespace oms

@@ -1,0 +1,96 @@
+/// \file online_multisection.hpp
+/// \brief Algorithm 1 of the paper: assign every streamed node permanently by
+///        descending the multi-section tree layer by layer — recursive
+///        multi-section "on the fly", in a single pass.
+///
+/// The assigner implements the generic one-pass interface, so the same
+/// drivers (sequential, OpenMP-parallel, disk-streaming) used by the
+/// baselines run it unchanged.
+///
+/// Two modes:
+///  * OMS   — a SystemHierarchy is given; the leaf order equals the PE
+///    numbering, so the produced partition *is* the process mapping;
+///  * nh-OMS — only k is given; an artificial base-b hierarchy (Algorithm 2)
+///    turns the multi-section into a general graph partitioner with running
+///    time O((m + n b) log_b k) (Theorem 4) instead of Fennel's O(m + n k).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "oms/core/multisection_tree.hpp"
+#include "oms/graph/csr_graph.hpp"
+#include "oms/core/oms_config.hpp"
+#include "oms/mapping/hierarchy.hpp"
+#include "oms/stream/block_weights.hpp"
+#include "oms/stream/one_pass_driver.hpp"
+
+namespace oms {
+
+class OnlineMultisection final : public OnePassAssigner {
+public:
+  /// OMS mode: multi-section along the given topology.
+  OnlineMultisection(NodeId num_nodes, EdgeIndex num_edges,
+                     NodeWeight total_node_weight, const SystemHierarchy& topology,
+                     const OmsConfig& config);
+
+  /// nh-OMS mode: artificial base-b hierarchy over k final blocks.
+  OnlineMultisection(NodeId num_nodes, EdgeIndex num_edges,
+                     NodeWeight total_node_weight, BlockId k, const OmsConfig& config);
+
+  // --- OnePassAssigner ------------------------------------------------
+  void prepare(int num_threads) override;
+  BlockId assign(const StreamedNode& node, int thread_id,
+                 WorkCounters& counters) override;
+  [[nodiscard]] BlockId block_of(NodeId u) const override { return assignment_[u]; }
+  [[nodiscard]] BlockId num_blocks() const override {
+    return tree_.num_final_blocks();
+  }
+  [[nodiscard]] std::vector<BlockId> take_assignment() override {
+    return std::move(assignment_);
+  }
+
+  // --- introspection ----------------------------------------------------
+  [[nodiscard]] const MultisectionTree& tree() const noexcept { return tree_; }
+  [[nodiscard]] const OmsConfig& config() const noexcept { return config_; }
+  /// Weight currently accumulated in a tree block (leaf weights are the
+  /// final block weights).
+  [[nodiscard]] NodeWeight tree_block_weight(std::size_t block_id) const noexcept {
+    return weights_.load(block_id);
+  }
+  /// Streaming state footprint: assignment + O(k) tree weights (Theorem 1).
+  [[nodiscard]] std::uint64_t state_bytes() const noexcept;
+
+  /// Restreaming support (remapping extension, Section 3.2): remove a node
+  /// from every block on its root-to-leaf path so it can be re-placed.
+  void unassign(NodeId u, NodeWeight weight);
+
+  /// The paper's *offline* recursive multi-section: height() successive
+  /// passes over the graph, one tree layer per pass. Section 3.1 argues the
+  /// online algorithm "produces exactly the same result as the version with
+  /// l passes"; this reference implementation exists so tests can verify
+  /// that equivalence bit-for-bit. Resets all assigner state.
+  [[nodiscard]] std::vector<BlockId> run_offline_multipass(const CsrGraph& graph);
+
+private:
+  OnlineMultisection(NodeId num_nodes, EdgeIndex num_edges,
+                     NodeWeight total_node_weight, MultisectionTree tree,
+                     const OmsConfig& config);
+
+  /// Pick a child of \p parent for \p node; gathered[i] holds the weight of
+  /// node's neighbors already assigned below child i.
+  [[nodiscard]] std::int32_t pick_child(const MultisectionTree::Block& parent,
+                                        const StreamedNode& node,
+                                        std::span<const EdgeWeight> gathered,
+                                        ScorerKind scorer, std::size_t parent_id,
+                                        WorkCounters& counters) const;
+
+  MultisectionTree tree_;
+  OmsConfig config_;
+  std::vector<BlockId> assignment_;
+  BlockWeights weights_; // one per tree block, atomics (Section 3.4)
+  std::vector<std::vector<EdgeWeight>> scratch_; // per thread, size max children
+  std::int32_t max_children_ = 0;
+};
+
+} // namespace oms

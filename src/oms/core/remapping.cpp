@@ -1,0 +1,36 @@
+#include "oms/core/remapping.hpp"
+
+#include "oms/partition/metrics.hpp"
+#include "oms/util/timer.hpp"
+
+namespace oms {
+
+RemapResult remap_multisection(const CsrGraph& graph, OnlineMultisection& oms,
+                               int passes) {
+  OMS_ASSERT(passes >= 1);
+  oms.prepare(1);
+
+  RemapResult result;
+  Timer timer;
+  WorkCounters counters;
+  std::vector<BlockId> snapshot(graph.num_nodes());
+  for (int pass = 0; pass < passes; ++pass) {
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      if (pass > 0) {
+        oms.unassign(u, graph.node_weight(u));
+      }
+      const StreamedNode node{u, graph.node_weight(u), graph.neighbors(u),
+                              graph.incident_weights(u)};
+      oms.assign(node, 0, counters);
+    }
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      snapshot[u] = oms.block_of(u);
+    }
+    result.cut_per_pass.push_back(edge_cut(graph, snapshot));
+  }
+  result.elapsed_s = timer.elapsed_s();
+  result.assignment = oms.take_assignment();
+  return result;
+}
+
+} // namespace oms

@@ -1,0 +1,37 @@
+/// \file remapping.hpp
+/// \brief Iterative *remapping* by restreaming the online multi-section —
+///        the extension the paper sketches in Section 3.2 ("it is possible
+///        to iteratively improve a process mapping solution through multiple
+///        passes ... coupling our algorithm with restreaming algorithms such
+///        as ReFennel") and defers to future work.
+///
+/// From the second pass on, each node is first removed from every block on
+/// its root-to-leaf path and then re-placed; it now sees the *complete*
+/// placement of all its neighbors instead of only the already-streamed
+/// prefix, which is where the improvement comes from.
+#pragma once
+
+#include <vector>
+
+#include "oms/core/online_multisection.hpp"
+#include "oms/graph/csr_graph.hpp"
+#include "oms/types.hpp"
+
+namespace oms {
+
+struct RemapResult {
+  std::vector<BlockId> assignment;
+  /// Edge-cut after each pass (mapping cost is the caller's to evaluate
+  /// against its topology; the cut trace is topology-independent).
+  std::vector<Cost> cut_per_pass;
+  double elapsed_s = 0.0;
+};
+
+/// Run \p passes restreaming passes of \p oms over \p graph (sequential; the
+/// restreaming model is defined on a fixed stream order). The assigner must
+/// be freshly constructed. The final assignment stays balanced because every
+/// re-placement goes through the same capacity checks as the first pass.
+[[nodiscard]] RemapResult remap_multisection(const CsrGraph& graph,
+                                             OnlineMultisection& oms, int passes);
+
+} // namespace oms

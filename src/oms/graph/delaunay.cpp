@@ -1,0 +1,290 @@
+/// \file delaunay.cpp
+/// \brief Incremental Bowyer-Watson Delaunay triangulation of random points
+///        in the unit square — the generator behind the paper's delX family.
+///
+/// Implementation notes:
+///  * points are inserted in spatially sorted (grid snake) order so that the
+///    walk-based point location starting from the last created triangle is
+///    short, giving near-linear total construction time;
+///  * predicates use double arithmetic; random points are in generic
+///    position with overwhelming probability, which is sufficient for a
+///    workload generator (ties break conservatively);
+///  * triangles store, for each corner, the neighbor triangle across the
+///    opposite edge, which makes cavity search and re-triangulation O(size
+///    of cavity).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "oms/graph/generators.hpp"
+#include "oms/graph/graph_builder.hpp"
+#include "oms/util/random.hpp"
+
+namespace oms::gen {
+namespace {
+
+struct Point {
+  double x;
+  double y;
+};
+
+/// > 0 if (a, b, c) makes a counter-clockwise turn.
+double orient(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+/// > 0 if d lies strictly inside the circumcircle of CCW triangle (a, b, c).
+double in_circle(const Point& a, const Point& b, const Point& c, const Point& d) {
+  const double adx = a.x - d.x;
+  const double ady = a.y - d.y;
+  const double bdx = b.x - d.x;
+  const double bdy = b.y - d.y;
+  const double cdx = c.x - d.x;
+  const double cdy = c.y - d.y;
+  const double ad = adx * adx + ady * ady;
+  const double bd = bdx * bdx + bdy * bdy;
+  const double cd = cdx * cdx + cdy * cdy;
+  return adx * (bdy * cd - bd * cdy) - ady * (bdx * cd - bd * cdx) +
+         ad * (bdx * cdy - bdy * cdx);
+}
+
+struct Triangle {
+  std::uint32_t v[3];  // corners, CCW
+  std::int32_t n[3];   // n[i] = triangle across the edge opposite v[i]; -1 = hull
+  bool alive = true;
+};
+
+class BowyerWatson {
+public:
+  explicit BowyerWatson(std::vector<Point> points) : points_(std::move(points)) {
+    const auto n = static_cast<std::uint32_t>(points_.size());
+    // Super-triangle comfortably containing the unit square.
+    points_.push_back({-30.0, -30.0});
+    points_.push_back({31.0, -30.0});
+    points_.push_back({0.5, 60.0});
+    super0_ = n;
+    Triangle root{};
+    root.v[0] = n;
+    root.v[1] = n + 1;
+    root.v[2] = n + 2;
+    root.n[0] = root.n[1] = root.n[2] = -1;
+    triangles_.push_back(root);
+  }
+
+  void insert(std::uint32_t p) {
+    const std::int32_t start = locate(points_[p]);
+    find_cavity(start, p);
+    retriangulate(p);
+  }
+
+  /// Emit all edges between real (non-super) points.
+  template <typename EmitEdge>
+  void for_each_edge(EmitEdge&& emit) const {
+    for (const Triangle& t : triangles_) {
+      if (!t.alive) {
+        continue;
+      }
+      for (int i = 0; i < 3; ++i) {
+        const std::uint32_t a = t.v[i];
+        const std::uint32_t b = t.v[(i + 1) % 3];
+        if (a < b && a < super0_ && b < super0_) {
+          emit(a, b);
+        }
+      }
+    }
+  }
+
+private:
+  /// Walk from the most recently created triangle towards \p p.
+  [[nodiscard]] std::int32_t locate(const Point& p) const {
+    std::int32_t t = hint_;
+    // The walk always terminates for points inside the super-triangle, but a
+    // step budget guards against predicate degeneracies; on exhaustion we
+    // fall back to a linear scan.
+    std::size_t budget = triangles_.size() * 4 + 64;
+    while (budget-- > 0) {
+      const Triangle& tri = triangles_[static_cast<std::size_t>(t)];
+      bool moved = false;
+      for (int i = 0; i < 3 && !moved; ++i) {
+        const Point& a = points_[tri.v[(i + 1) % 3]];
+        const Point& b = points_[tri.v[(i + 2) % 3]];
+        if (orient(a, b, p) < 0 && tri.n[i] >= 0) {
+          t = tri.n[i];
+          moved = true;
+        }
+      }
+      if (!moved) {
+        return t;
+      }
+    }
+    for (std::size_t i = 0; i < triangles_.size(); ++i) {
+      const Triangle& tri = triangles_[i];
+      if (!tri.alive) {
+        continue;
+      }
+      if (orient(points_[tri.v[0]], points_[tri.v[1]], p) >= 0 &&
+          orient(points_[tri.v[1]], points_[tri.v[2]], p) >= 0 &&
+          orient(points_[tri.v[2]], points_[tri.v[0]], p) >= 0) {
+        return static_cast<std::int32_t>(i);
+      }
+    }
+    OMS_ASSERT_MSG(false, "delaunay: point location failed");
+    return 0;
+  }
+
+  /// BFS over triangles whose circumcircle contains p; records the cavity's
+  /// directed boundary edges together with the outside neighbor across each.
+  void find_cavity(std::int32_t start, std::uint32_t p) {
+    cavity_.clear();
+    boundary_.clear();
+    stack_.clear();
+    stack_.push_back(start);
+    triangles_[static_cast<std::size_t>(start)].alive = false;
+    cavity_.push_back(start);
+    while (!stack_.empty()) {
+      const std::int32_t ti = stack_.back();
+      stack_.pop_back();
+      const Triangle tri = triangles_[static_cast<std::size_t>(ti)];
+      for (int i = 0; i < 3; ++i) {
+        const std::int32_t over = tri.n[i];
+        const std::uint32_t ea = tri.v[(i + 1) % 3];
+        const std::uint32_t eb = tri.v[(i + 2) % 3];
+        if (over < 0) {
+          boundary_.push_back({ea, eb, -1});
+          continue;
+        }
+        Triangle& other = triangles_[static_cast<std::size_t>(over)];
+        if (!other.alive) {
+          continue; // already part of the cavity
+        }
+        if (in_circle(points_[other.v[0]], points_[other.v[1]], points_[other.v[2]],
+                      points_[p]) > 0) {
+          other.alive = false;
+          cavity_.push_back(over);
+          stack_.push_back(over);
+        } else {
+          boundary_.push_back({ea, eb, over});
+        }
+      }
+    }
+  }
+
+  /// Fan the cavity boundary to p; dead cavity slots are recycled.
+  void retriangulate(std::uint32_t p) {
+    // For each boundary vertex remember the new triangle waiting for its
+    // second p-edge link: vertex -> (triangle index, corner slot).
+    link_.clear();
+    std::size_t recycle = 0;
+    for (const BoundaryEdge& edge : boundary_) {
+      std::int32_t ti;
+      if (recycle < cavity_.size()) {
+        ti = cavity_[recycle++];
+      } else {
+        ti = static_cast<std::int32_t>(triangles_.size());
+        triangles_.emplace_back();
+      }
+      Triangle& t = triangles_[static_cast<std::size_t>(ti)];
+      t.alive = true;
+      t.v[0] = edge.a;
+      t.v[1] = edge.b;
+      t.v[2] = p;
+      t.n[2] = edge.outside; // across (a, b)
+      t.n[0] = t.n[1] = -1;
+      if (edge.outside >= 0) {
+        // Fix the back-pointer of the surviving outside triangle.
+        Triangle& out = triangles_[static_cast<std::size_t>(edge.outside)];
+        for (int i = 0; i < 3; ++i) {
+          const std::uint32_t oa = out.v[(i + 1) % 3];
+          const std::uint32_t ob = out.v[(i + 2) % 3];
+          if ((oa == edge.a && ob == edge.b) || (oa == edge.b && ob == edge.a)) {
+            out.n[i] = ti;
+            break;
+          }
+        }
+      }
+      // New triangle edges touching p: (b, p) opposite corner 0 and (p, a)
+      // opposite corner 1. Each boundary vertex appears in exactly two
+      // boundary edges, so matching by vertex links the fan.
+      link_fan(edge.b, ti, 0);
+      link_fan(edge.a, ti, 1);
+      hint_ = ti;
+    }
+    // Any unrecycled cavity slots stay dead (tombstones; cheap and simple).
+  }
+
+  void link_fan(std::uint32_t vertex, std::int32_t ti, int slot) {
+    const auto it = link_.find(vertex);
+    if (it == link_.end()) {
+      link_.emplace(vertex, std::pair<std::int32_t, int>{ti, slot});
+      return;
+    }
+    const auto [other_ti, other_slot] = it->second;
+    triangles_[static_cast<std::size_t>(ti)].n[slot] = other_ti;
+    triangles_[static_cast<std::size_t>(other_ti)].n[other_slot] = ti;
+    link_.erase(it);
+  }
+
+  struct BoundaryEdge {
+    std::uint32_t a;
+    std::uint32_t b;
+    std::int32_t outside;
+  };
+
+  std::vector<Point> points_;
+  std::vector<Triangle> triangles_;
+  std::uint32_t super0_ = 0;
+  std::int32_t hint_ = 0;
+  std::vector<std::int32_t> cavity_;
+  std::vector<BoundaryEdge> boundary_;
+  std::vector<std::int32_t> stack_;
+  std::unordered_map<std::uint32_t, std::pair<std::int32_t, int>> link_;
+};
+
+} // namespace
+
+CsrGraph delaunay(NodeId num_nodes, std::uint64_t seed) {
+  OMS_ASSERT(num_nodes >= 3);
+  Rng rng(seed);
+  std::vector<Point> points(num_nodes);
+  for (auto& p : points) {
+    p = {rng.next_double(), rng.next_double()};
+  }
+
+  // Spatial snake sort: grid cells left-to-right, alternating row direction.
+  // Insertion locality keeps the location walks short, and the sorted order
+  // becomes the node id order (id locality like the DIMACS instances).
+  const auto cells = static_cast<std::uint32_t>(
+      std::max(1.0, std::sqrt(static_cast<double>(num_nodes) / 4.0)));
+  std::vector<std::uint32_t> order(num_nodes);
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    order[i] = i;
+  }
+  const auto cell_key = [&](std::uint32_t i) {
+    auto cx = static_cast<std::uint64_t>(points[i].x * cells);
+    auto cy = static_cast<std::uint64_t>(points[i].y * cells);
+    cx = std::min<std::uint64_t>(cx, cells - 1);
+    cy = std::min<std::uint64_t>(cy, cells - 1);
+    const std::uint64_t col = (cy % 2 == 0) ? cx : (cells - 1 - cx);
+    return cy * cells + col;
+  };
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return cell_key(a) < cell_key(b);
+  });
+  std::vector<Point> sorted(num_nodes);
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    sorted[i] = points[order[i]];
+  }
+
+  BowyerWatson bw(std::move(sorted));
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    bw.insert(i);
+  }
+
+  GraphBuilder builder(num_nodes);
+  bw.for_each_edge([&](std::uint32_t a, std::uint32_t b) { builder.add_edge(a, b); });
+  return std::move(builder).build();
+}
+
+} // namespace oms::gen

@@ -1,0 +1,280 @@
+#include "oms/graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "oms/graph/graph_builder.hpp"
+#include "oms/util/random.hpp"
+
+namespace oms::gen {
+
+CsrGraph grid_2d(NodeId rows, NodeId cols, bool periodic) {
+  OMS_ASSERT(rows >= 1 && cols >= 1);
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  GraphBuilder builder(rows * cols);
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        builder.add_edge(id(r, c), id(r, c + 1));
+      } else if (periodic && cols > 2) {
+        builder.add_edge(id(r, c), id(r, 0));
+      }
+      if (r + 1 < rows) {
+        builder.add_edge(id(r, c), id(r + 1, c));
+      } else if (periodic && rows > 2) {
+        builder.add_edge(id(r, c), id(0, c));
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+CsrGraph grid_3d(NodeId nx, NodeId ny, NodeId nz) {
+  OMS_ASSERT(nx >= 1 && ny >= 1 && nz >= 1);
+  const auto id = [ny, nz](NodeId x, NodeId y, NodeId z) {
+    return (x * ny + y) * nz + z;
+  };
+  GraphBuilder builder(nx * ny * nz);
+  for (NodeId x = 0; x < nx; ++x) {
+    for (NodeId y = 0; y < ny; ++y) {
+      for (NodeId z = 0; z < nz; ++z) {
+        if (x + 1 < nx) {
+          builder.add_edge(id(x, y, z), id(x + 1, y, z));
+        }
+        if (y + 1 < ny) {
+          builder.add_edge(id(x, y, z), id(x, y + 1, z));
+        }
+        if (z + 1 < nz) {
+          builder.add_edge(id(x, y, z), id(x, y, z + 1));
+        }
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+CsrGraph random_geometric(NodeId num_nodes, std::uint64_t seed, double radius) {
+  OMS_ASSERT(num_nodes >= 2);
+  if (radius <= 0.0) {
+    radius = 0.55 * std::sqrt(std::log(static_cast<double>(num_nodes)) /
+                              static_cast<double>(num_nodes));
+  }
+  Rng rng(seed);
+  std::vector<double> xs(num_nodes);
+  std::vector<double> ys(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    xs[u] = rng.next_double();
+    ys[u] = rng.next_double();
+  }
+
+  // Bucket points into cells of side >= radius; only 3x3 neighborhoods can
+  // contain edges, which keeps generation near-linear.
+  const auto cells = static_cast<NodeId>(std::max(1.0, std::floor(1.0 / radius)));
+  const double cell_size = 1.0 / static_cast<double>(cells);
+  std::vector<std::vector<NodeId>> buckets(static_cast<std::size_t>(cells) * cells);
+  const auto cell_of = [&](NodeId u) {
+    auto cx = static_cast<NodeId>(xs[u] / cell_size);
+    auto cy = static_cast<NodeId>(ys[u] / cell_size);
+    cx = std::min(cx, cells - 1);
+    cy = std::min(cy, cells - 1);
+    return std::pair<NodeId, NodeId>{cx, cy};
+  };
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    const auto [cx, cy] = cell_of(u);
+    buckets[cx * cells + cy].push_back(u);
+  }
+
+  GraphBuilder builder(num_nodes);
+  const double radius_sq = radius * radius;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    const auto [cx, cy] = cell_of(u);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        const auto nx = static_cast<std::int64_t>(cx) + dx;
+        const auto ny = static_cast<std::int64_t>(cy) + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) {
+          continue;
+        }
+        for (const NodeId v : buckets[static_cast<std::size_t>(nx) * cells +
+                                      static_cast<std::size_t>(ny)]) {
+          if (v <= u) {
+            continue; // each pair once
+          }
+          const double ddx = xs[u] - xs[v];
+          const double ddy = ys[u] - ys[v];
+          if (ddx * ddx + ddy * ddy <= radius_sq) {
+            builder.add_edge(u, v);
+          }
+        }
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+CsrGraph barabasi_albert(NodeId num_nodes, NodeId edges_per_node, std::uint64_t seed) {
+  OMS_ASSERT(edges_per_node >= 1);
+  OMS_ASSERT(num_nodes > edges_per_node);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+
+  // "Repeated nodes" implementation: endpoints picks a node with probability
+  // proportional to its current degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(num_nodes) * edges_per_node * 2);
+
+  // Seed clique over the first edges_per_node + 1 nodes.
+  for (NodeId u = 0; u <= edges_per_node; ++u) {
+    for (NodeId v = u + 1; v <= edges_per_node; ++v) {
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::unordered_set<NodeId> chosen;
+  for (NodeId u = edges_per_node + 1; u < num_nodes; ++u) {
+    chosen.clear();
+    while (chosen.size() < edges_per_node) {
+      const NodeId target = endpoints[rng.next_below(endpoints.size())];
+      chosen.insert(target); // set-semantics avoids parallel edges
+    }
+    for (const NodeId v : chosen) {
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return std::move(builder).build();
+}
+
+CsrGraph rmat(std::uint32_t scale, NodeId edge_factor, std::uint64_t seed, double a,
+              double b, double c) {
+  OMS_ASSERT(scale >= 1 && scale < 31);
+  OMS_ASSERT(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0);
+  const NodeId n = NodeId{1} << scale;
+  const auto target_edges = static_cast<EdgeIndex>(n) * edge_factor;
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  for (EdgeIndex e = 0; e < target_edges; ++e) {
+    NodeId u = 0;
+    NodeId v = 0;
+    for (std::uint32_t bit = 0; bit < scale; ++bit) {
+      // Mild per-level noise keeps the degree distribution from collapsing
+      // into exact powers of two (standard Graph500-style smoothing).
+      const double noise = 0.95 + 0.1 * rng.next_double();
+      const double p = rng.next_double();
+      const double aa = a * noise;
+      const double bb = b * noise;
+      const double cc = c * noise;
+      u <<= 1;
+      v <<= 1;
+      if (p < aa) {
+        // top-left: no bits set
+      } else if (p < aa + bb) {
+        v |= 1;
+      } else if (p < aa + bb + cc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) {
+      builder.add_edge(u, v); // duplicates merge in the builder
+    }
+  }
+  return std::move(builder).build();
+}
+
+CsrGraph erdos_renyi(NodeId num_nodes, EdgeIndex num_edges, std::uint64_t seed) {
+  OMS_ASSERT(num_nodes >= 2);
+  const auto max_edges =
+      static_cast<EdgeIndex>(num_nodes) * (num_nodes - 1) / 2;
+  OMS_ASSERT_MSG(num_edges <= max_edges / 2,
+                 "erdos_renyi: rejection sampling needs density <= 1/2");
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  while (seen.size() < num_edges) {
+    const auto u = static_cast<NodeId>(rng.next_below(num_nodes));
+    const auto v = static_cast<NodeId>(rng.next_below(num_nodes));
+    if (u == v) {
+      continue;
+    }
+    const std::uint64_t key = (static_cast<std::uint64_t>(std::min(u, v)) << 32) |
+                              std::max(u, v);
+    if (seen.insert(key).second) {
+      builder.add_edge(u, v);
+    }
+  }
+  return std::move(builder).build();
+}
+
+CsrGraph watts_strogatz(NodeId num_nodes, NodeId lattice_degree, double beta,
+                        std::uint64_t seed) {
+  OMS_ASSERT(num_nodes > 2 * lattice_degree);
+  OMS_ASSERT(beta >= 0.0 && beta <= 1.0);
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> present;
+  const auto key = [](NodeId u, NodeId v) {
+    return (static_cast<std::uint64_t>(std::min(u, v)) << 32) | std::max(u, v);
+  };
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId j = 1; j <= lattice_degree; ++j) {
+      const NodeId v = (u + j) % num_nodes;
+      edges.emplace_back(u, v);
+      present.insert(key(u, v));
+    }
+  }
+  for (auto& [u, v] : edges) {
+    if (!rng.next_bool(beta)) {
+      continue;
+    }
+    // Rewire the far endpoint to a uniform non-neighbor.
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto w = static_cast<NodeId>(rng.next_below(num_nodes));
+      if (w == u || w == v || present.contains(key(u, w))) {
+        continue;
+      }
+      present.erase(key(u, v));
+      present.insert(key(u, w));
+      v = w;
+      break;
+    }
+  }
+  GraphBuilder builder(num_nodes);
+  for (const auto& [u, v] : edges) {
+    builder.add_edge(u, v);
+  }
+  return std::move(builder).build();
+}
+
+CsrGraph road_network(NodeId rows, NodeId cols, std::uint64_t seed) {
+  OMS_ASSERT(rows >= 2 && cols >= 2);
+  Rng rng(seed);
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  GraphBuilder builder(rows * cols);
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      // Keep ~88% of grid edges: sparse, mostly-degree-<=4, road-like.
+      if (c + 1 < cols && !rng.next_bool(0.12)) {
+        builder.add_edge(id(r, c), id(r, c + 1));
+      }
+      if (r + 1 < rows && !rng.next_bool(0.12)) {
+        builder.add_edge(id(r, c), id(r + 1, c));
+      }
+      // Occasional diagonal shortcut (highway ramps, bridges).
+      if (r + 1 < rows && c + 1 < cols && rng.next_bool(0.03)) {
+        builder.add_edge(id(r, c), id(r + 1, c + 1));
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+} // namespace oms::gen

@@ -1,0 +1,62 @@
+/// \file generators.hpp
+/// \brief Deterministic graph generators standing in for the paper's
+///        benchmark families (Table 1): meshes, roads, social networks,
+///        citations, web graphs, circuits, and the artificial rggX / delX
+///        instances.
+///
+/// Every generator is pure in its (parameters, seed) inputs, so experiments
+/// are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "oms/graph/csr_graph.hpp"
+
+namespace oms::gen {
+
+/// rows x cols 2D grid mesh (4-neighborhood); \p periodic wraps both axes.
+/// Family stand-in: FEM meshes / structured circuits.
+[[nodiscard]] CsrGraph grid_2d(NodeId rows, NodeId cols, bool periodic = false);
+
+/// nx x ny x nz 3D grid (6-neighborhood). Family stand-in: volume meshes
+/// (ML_Laplace, HV15R style).
+[[nodiscard]] CsrGraph grid_3d(NodeId nx, NodeId ny, NodeId nz);
+
+/// Random geometric graph in the unit square: nodes are random points,
+/// edges connect pairs closer than \p radius. radius <= 0 selects the
+/// paper's rggX default 0.55 * sqrt(ln n / n).
+[[nodiscard]] CsrGraph random_geometric(NodeId num_nodes, std::uint64_t seed,
+                                        double radius = 0.0);
+
+/// Delaunay triangulation of \p num_nodes random points in the unit square
+/// (the paper's delX family). Proper incremental Bowyer-Watson construction;
+/// node ids follow a spatially sorted insertion order, giving the id locality
+/// the DIMACS instances exhibit.
+[[nodiscard]] CsrGraph delaunay(NodeId num_nodes, std::uint64_t seed);
+
+/// Barabasi-Albert preferential attachment with \p edges_per_node out-edges
+/// per arriving node. Family stand-in: citation / social networks
+/// (coAuthorsDBLP, soc-LiveJournal style degree skew).
+[[nodiscard]] CsrGraph barabasi_albert(NodeId num_nodes, NodeId edges_per_node,
+                                       std::uint64_t seed);
+
+/// R-MAT with n = 2^scale nodes and ~edge_factor * n undirected edges,
+/// default partition probabilities (0.57, 0.19, 0.19, 0.05). Family stand-in:
+/// web crawls and netlist-like skewed graphs (eu-2005, FullChip).
+[[nodiscard]] CsrGraph rmat(std::uint32_t scale, NodeId edge_factor, std::uint64_t seed,
+                            double a = 0.57, double b = 0.19, double c = 0.19);
+
+/// G(n, m) uniform random graph.
+[[nodiscard]] CsrGraph erdos_renyi(NodeId num_nodes, EdgeIndex num_edges,
+                                   std::uint64_t seed);
+
+/// Watts-Strogatz small world: ring lattice with \p lattice_degree neighbors
+/// per side, each edge rewired with probability \p beta.
+[[nodiscard]] CsrGraph watts_strogatz(NodeId num_nodes, NodeId lattice_degree,
+                                      double beta, std::uint64_t seed);
+
+/// Road-network stand-in (italy-osm style): planar grid with a fraction of
+/// edges removed and sparse diagonal shortcuts added, keeping degree ~2-4.
+[[nodiscard]] CsrGraph road_network(NodeId rows, NodeId cols, std::uint64_t seed);
+
+} // namespace oms::gen

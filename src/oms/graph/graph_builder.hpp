@@ -1,0 +1,49 @@
+/// \file graph_builder.hpp
+/// \brief Edge-list accumulator that establishes the CsrGraph invariants:
+///        it symmetrizes, drops self-loops, merges parallel edges (summing
+///        weights), and sorts adjacency lists.
+///
+/// This mirrors the preprocessing the paper applies to its benchmark graphs
+/// ("removing parallel edges, self loops, and directions").
+#pragma once
+
+#include <vector>
+
+#include "oms/graph/csr_graph.hpp"
+#include "oms/types.hpp"
+
+namespace oms {
+
+class GraphBuilder {
+public:
+  /// \param num_nodes  final node count; all edge endpoints must be < it.
+  explicit GraphBuilder(NodeId num_nodes);
+
+  /// Record an undirected edge {u, v}; direction and duplicates are fine,
+  /// self-loops are silently dropped. Weights of duplicates are summed.
+  void add_edge(NodeId u, NodeId v, EdgeWeight weight = 1);
+
+  /// Override the (default unit) weight of a node.
+  void set_node_weight(NodeId u, NodeWeight weight);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] std::size_t num_recorded_edges() const noexcept {
+    return edges_.size();
+  }
+
+  /// Produce the finished graph. The builder is consumed.
+  [[nodiscard]] CsrGraph build() &&;
+
+private:
+  struct Edge {
+    NodeId u;
+    NodeId v;
+    EdgeWeight w;
+  };
+
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+  std::vector<NodeWeight> node_weights_;
+};
+
+} // namespace oms

@@ -1,0 +1,203 @@
+#include "oms/graph/io.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "oms/graph/graph_builder.hpp"
+#include "oms/util/assert.hpp"
+
+namespace oms {
+namespace {
+
+/// Incremental whitespace-separated integer scanner over one line.
+class LineTokens {
+public:
+  explicit LineTokens(std::string_view line) noexcept : rest_(line) {}
+
+  /// Next integer token; false when the line is exhausted.
+  bool next(std::int64_t& out) {
+    while (!rest_.empty() && (rest_.front() == ' ' || rest_.front() == '\t' ||
+                              rest_.front() == '\r')) {
+      rest_.remove_prefix(1);
+    }
+    if (rest_.empty()) {
+      return false;
+    }
+    const auto [ptr, ec] = std::from_chars(rest_.data(), rest_.data() + rest_.size(), out);
+    OMS_ASSERT_MSG(ec == std::errc{}, "malformed integer token in graph file");
+    rest_.remove_prefix(static_cast<std::size_t>(ptr - rest_.data()));
+    return true;
+  }
+
+private:
+  std::string_view rest_;
+};
+
+/// Header lookup: skip comments *and* blank lines.
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.front() != '%') {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Data lines: skip only comments — an *empty* line is an isolated node and
+/// must consume its slot, otherwise every following adjacency list would
+/// shift onto the wrong node.
+bool next_data_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() != '%') {
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+void write_metis(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  OMS_ASSERT_MSG(out.good(), "cannot open file for writing");
+
+  bool node_weights = false;
+  bool edge_weights = false;
+  for (NodeId u = 0; u < graph.num_nodes() && !node_weights; ++u) {
+    node_weights = graph.node_weight(u) != 1;
+  }
+  for (const EdgeWeight w : graph.raw_adjwgt()) {
+    if (w != 1) {
+      edge_weights = true;
+      break;
+    }
+  }
+
+  out << graph.num_nodes() << ' ' << graph.num_edges();
+  if (node_weights || edge_weights) {
+    out << ' ' << (node_weights ? '1' : '0') << (edge_weights ? '1' : '0');
+  }
+  out << '\n';
+
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    std::ostringstream line;
+    if (node_weights) {
+      line << graph.node_weight(u);
+    }
+    const auto neigh = graph.neighbors(u);
+    const auto weights = graph.incident_weights(u);
+    for (std::size_t i = 0; i < neigh.size(); ++i) {
+      if (node_weights || i > 0) {
+        line << ' ';
+      }
+      line << (neigh[i] + 1);
+      if (edge_weights) {
+        line << ' ' << weights[i];
+      }
+    }
+    out << line.str() << '\n';
+  }
+  OMS_ASSERT_MSG(out.good(), "write failure");
+}
+
+CsrGraph read_metis(const std::string& path) {
+  std::ifstream in(path);
+  OMS_ASSERT_MSG(in.good(), "cannot open graph file");
+
+  std::string line;
+  OMS_ASSERT_MSG(next_content_line(in, line), "missing METIS header");
+  LineTokens header(line);
+  std::int64_t n = 0;
+  std::int64_t m = 0;
+  std::int64_t fmt = 0;
+  OMS_ASSERT_MSG(header.next(n) && header.next(m), "malformed METIS header");
+  header.next(fmt); // optional
+  OMS_ASSERT_MSG(n >= 0 && m >= 0, "negative sizes in METIS header");
+  const bool has_edge_weights = (fmt % 10) == 1;
+  const bool has_node_weights = (fmt / 10 % 10) == 1;
+  OMS_ASSERT_MSG(fmt / 100 % 10 == 0, "multi-weight METIS files are not supported");
+
+  GraphBuilder builder(static_cast<NodeId>(n));
+  for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+    // Missing trailing lines mean isolated nodes; treat EOF as empty lines.
+    if (!next_data_line(in, line)) {
+      break;
+    }
+    LineTokens tokens(line);
+    std::int64_t value = 0;
+    if (has_node_weights) {
+      OMS_ASSERT_MSG(tokens.next(value), "missing node weight");
+      builder.set_node_weight(u, value);
+    }
+    while (tokens.next(value)) {
+      OMS_ASSERT_MSG(value >= 1 && value <= n, "neighbor id out of range");
+      const auto v = static_cast<NodeId>(value - 1);
+      EdgeWeight w = 1;
+      if (has_edge_weights) {
+        std::int64_t wt = 0;
+        OMS_ASSERT_MSG(tokens.next(wt), "missing edge weight");
+        w = wt;
+      }
+      // METIS lists every edge from both endpoints; record the canonical
+      // direction only so GraphBuilder does not double the weights.
+      if (u < v) {
+        builder.add_edge(u, v, w);
+      }
+    }
+  }
+  CsrGraph graph = std::move(builder).build();
+  OMS_ASSERT_MSG(graph.num_edges() == static_cast<EdgeIndex>(m),
+                 "edge count disagrees with METIS header");
+  return graph;
+}
+
+void write_binary(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  OMS_ASSERT_MSG(out.good(), "cannot open file for writing");
+  const std::uint64_t magic = 0x4f4d5347'52415031ULL; // "OMSGRAP1"
+  const std::uint64_t n = graph.num_nodes();
+  const std::uint64_t arcs = graph.num_arcs();
+  const auto write_raw = [&out](const void* data, std::size_t bytes) {
+    out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  };
+  write_raw(&magic, sizeof magic);
+  write_raw(&n, sizeof n);
+  write_raw(&arcs, sizeof arcs);
+  write_raw(graph.raw_xadj().data(), graph.raw_xadj().size() * sizeof(EdgeIndex));
+  write_raw(graph.raw_adjncy().data(), graph.raw_adjncy().size() * sizeof(NodeId));
+  write_raw(graph.raw_adjwgt().data(), graph.raw_adjwgt().size() * sizeof(EdgeWeight));
+  write_raw(graph.raw_vwgt().data(), graph.raw_vwgt().size() * sizeof(NodeWeight));
+  OMS_ASSERT_MSG(out.good(), "write failure");
+}
+
+CsrGraph read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  OMS_ASSERT_MSG(in.good(), "cannot open graph file");
+  std::uint64_t magic = 0;
+  std::uint64_t n = 0;
+  std::uint64_t arcs = 0;
+  const auto read_raw = [&in](void* data, std::size_t bytes) {
+    in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+    OMS_ASSERT_MSG(in.good(), "truncated binary graph file");
+  };
+  read_raw(&magic, sizeof magic);
+  OMS_ASSERT_MSG(magic == 0x4f4d5347'52415031ULL, "bad magic in binary graph file");
+  read_raw(&n, sizeof n);
+  read_raw(&arcs, sizeof arcs);
+  std::vector<EdgeIndex> xadj(n + 1);
+  std::vector<NodeId> adjncy(arcs);
+  std::vector<EdgeWeight> adjwgt(arcs);
+  std::vector<NodeWeight> vwgt(n);
+  read_raw(xadj.data(), xadj.size() * sizeof(EdgeIndex));
+  read_raw(adjncy.data(), adjncy.size() * sizeof(NodeId));
+  read_raw(adjwgt.data(), adjwgt.size() * sizeof(EdgeWeight));
+  read_raw(vwgt.data(), vwgt.size() * sizeof(NodeWeight));
+  return CsrGraph(std::move(xadj), std::move(adjncy), std::move(adjwgt),
+                  std::move(vwgt));
+}
+
+} // namespace oms

@@ -1,0 +1,28 @@
+/// \file io.hpp
+/// \brief Graph serialization: METIS text format (the de-facto standard the
+///        paper's benchmark graphs ship in) and a compact binary format used
+///        by the disk-streaming experiments.
+#pragma once
+
+#include <string>
+
+#include "oms/graph/csr_graph.hpp"
+
+namespace oms {
+
+/// Write in METIS format. The fmt field is chosen automatically:
+/// "" for unit weights, "1" for edge weights, "10" for node weights, "11" for
+/// both. Node ids are 1-based in the file, per the format.
+void write_metis(const CsrGraph& graph, const std::string& path);
+
+/// Read a METIS file produced by write_metis (or any well-formed METIS graph
+/// with fmt in {"", "0", "1", "10", "11", "100", "101", "110", "111"}).
+/// Comment lines (%) are skipped. Aborts with a diagnostic on malformed input.
+[[nodiscard]] CsrGraph read_metis(const std::string& path);
+
+/// Compact binary round-trip (little-endian host assumed; this is a cache
+/// format, not an interchange format).
+void write_binary(const CsrGraph& graph, const std::string& path);
+[[nodiscard]] CsrGraph read_binary(const std::string& path);
+
+} // namespace oms

@@ -1,0 +1,103 @@
+#include "oms/graph/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "oms/graph/graph_builder.hpp"
+#include "oms/util/random.hpp"
+
+namespace oms {
+
+std::vector<NodeId> make_order(const CsrGraph& graph, StreamOrder order,
+                               std::uint64_t seed) {
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+
+  switch (order) {
+    case StreamOrder::kNatural:
+      break;
+    case StreamOrder::kRandom: {
+      Rng rng(seed);
+      rng.shuffle(perm);
+      break;
+    }
+    case StreamOrder::kBfs: {
+      std::vector<bool> visited(n, false);
+      std::vector<NodeId> bfs;
+      bfs.reserve(n);
+      std::queue<NodeId> queue;
+      for (NodeId root = 0; root < n; ++root) {
+        if (visited[root]) {
+          continue;
+        }
+        visited[root] = true;
+        queue.push(root);
+        while (!queue.empty()) {
+          const NodeId u = queue.front();
+          queue.pop();
+          bfs.push_back(u);
+          for (const NodeId v : graph.neighbors(u)) {
+            if (!visited[v]) {
+              visited[v] = true;
+              queue.push(v);
+            }
+          }
+        }
+      }
+      perm = std::move(bfs);
+      break;
+    }
+    case StreamOrder::kDegreeAscending:
+    case StreamOrder::kDegreeDescending: {
+      const bool ascending = order == StreamOrder::kDegreeAscending;
+      std::stable_sort(perm.begin(), perm.end(), [&](NodeId a, NodeId b) {
+        return ascending ? graph.degree(a) < graph.degree(b)
+                         : graph.degree(a) > graph.degree(b);
+      });
+      break;
+    }
+  }
+  return perm;
+}
+
+CsrGraph apply_order(const CsrGraph& graph, const std::vector<NodeId>& perm) {
+  const NodeId n = graph.num_nodes();
+  OMS_ASSERT_MSG(perm.size() == n, "permutation size mismatch");
+  std::vector<NodeId> inverse(n, kInvalidNode);
+  for (NodeId new_id = 0; new_id < n; ++new_id) {
+    const NodeId old_id = perm[new_id];
+    OMS_ASSERT_MSG(old_id < n && inverse[old_id] == kInvalidNode,
+                   "perm is not a permutation");
+    inverse[old_id] = new_id;
+  }
+
+  GraphBuilder builder(n);
+  for (NodeId new_u = 0; new_u < n; ++new_u) {
+    const NodeId old_u = perm[new_u];
+    builder.set_node_weight(new_u, graph.node_weight(old_u));
+    const auto neigh = graph.neighbors(old_u);
+    const auto weights = graph.incident_weights(old_u);
+    for (std::size_t i = 0; i < neigh.size(); ++i) {
+      const NodeId new_v = inverse[neigh[i]];
+      if (new_u < new_v) {
+        builder.add_edge(new_u, new_v, weights[i]);
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+const char* stream_order_name(StreamOrder order) noexcept {
+  switch (order) {
+    case StreamOrder::kNatural: return "natural";
+    case StreamOrder::kRandom: return "random";
+    case StreamOrder::kBfs: return "bfs";
+    case StreamOrder::kDegreeAscending: return "degree-asc";
+    case StreamOrder::kDegreeDescending: return "degree-desc";
+  }
+  return "unknown";
+}
+
+} // namespace oms

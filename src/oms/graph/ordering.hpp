@@ -1,0 +1,36 @@
+/// \file ordering.hpp
+/// \brief Node orderings for streaming. The one-pass algorithms consume nodes
+///        in id order, so re-numbering the graph changes the stream order.
+///        Supports the paper's "natural given order" default plus the orders
+///        studied in the prioritized-streaming literature it cites
+///        (random, BFS, degree).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oms/graph/csr_graph.hpp"
+
+namespace oms {
+
+enum class StreamOrder : std::uint8_t {
+  kNatural,          ///< ids as given (the paper's default)
+  kRandom,           ///< uniformly random permutation
+  kBfs,              ///< breadth-first order from node 0 (locality-friendly)
+  kDegreeAscending,  ///< smallest degree first
+  kDegreeDescending, ///< largest degree first (close to "prioritized" static order)
+};
+
+/// Permutation perm[new_id] = old_id realizing the requested order.
+[[nodiscard]] std::vector<NodeId> make_order(const CsrGraph& graph, StreamOrder order,
+                                             std::uint64_t seed = 1);
+
+/// Renumber the graph so that streaming it in id order equals streaming the
+/// original in perm order. perm[new_id] = old_id must be a permutation.
+[[nodiscard]] CsrGraph apply_order(const CsrGraph& graph,
+                                   const std::vector<NodeId>& perm);
+
+/// Human-readable name for logs and bench tables.
+[[nodiscard]] const char* stream_order_name(StreamOrder order) noexcept;
+
+} // namespace oms

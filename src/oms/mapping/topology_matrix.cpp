@@ -1,0 +1,98 @@
+#include "oms/mapping/topology_matrix.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "oms/util/assert.hpp"
+
+namespace oms {
+
+TopologyMatrix::TopologyMatrix(std::vector<std::vector<std::int64_t>> distances)
+    : distances_(std::move(distances)) {
+  const std::size_t k = distances_.size();
+  OMS_ASSERT_MSG(k >= 1, "topology needs at least one PE");
+  for (std::size_t x = 0; x < k; ++x) {
+    OMS_ASSERT_MSG(distances_[x].size() == k, "distance matrix must be square");
+    OMS_ASSERT_MSG(distances_[x][x] == 0, "self-distance must be zero");
+    for (std::size_t y = 0; y < k; ++y) {
+      OMS_ASSERT_MSG(distances_[x][y] >= 0, "distances must be non-negative");
+      OMS_ASSERT_MSG(distances_[x][y] == distances_[y][x],
+                     "distance matrix must be symmetric");
+    }
+  }
+}
+
+TopologyMatrix TopologyMatrix::from_hierarchy(const SystemHierarchy& topo) {
+  const BlockId k = topo.num_pes();
+  std::vector<std::vector<std::int64_t>> d(
+      static_cast<std::size_t>(k), std::vector<std::int64_t>(static_cast<std::size_t>(k)));
+  for (BlockId x = 0; x < k; ++x) {
+    for (BlockId y = 0; y < k; ++y) {
+      d[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] =
+          topo.distance(x, y);
+    }
+  }
+  return TopologyMatrix(std::move(d));
+}
+
+TopologyMatrix TopologyMatrix::torus_2d(BlockId k_x, BlockId k_y) {
+  OMS_ASSERT(k_x >= 1 && k_y >= 1);
+  const BlockId k = k_x * k_y;
+  const auto wrap_distance = [](BlockId a, BlockId b, BlockId extent) {
+    const BlockId direct = std::abs(a - b);
+    return std::min(direct, extent - direct);
+  };
+  std::vector<std::vector<std::int64_t>> d(
+      static_cast<std::size_t>(k), std::vector<std::int64_t>(static_cast<std::size_t>(k)));
+  for (BlockId x = 0; x < k; ++x) {
+    for (BlockId y = 0; y < k; ++y) {
+      const BlockId xi = x % k_x;
+      const BlockId xj = x / k_x;
+      const BlockId yi = y % k_x;
+      const BlockId yj = y / k_x;
+      d[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] =
+          wrap_distance(xi, yi, k_x) + wrap_distance(xj, yj, k_y);
+    }
+  }
+  return TopologyMatrix(std::move(d));
+}
+
+TopologyMatrix TopologyMatrix::chain(BlockId k) {
+  OMS_ASSERT(k >= 1);
+  std::vector<std::vector<std::int64_t>> d(
+      static_cast<std::size_t>(k), std::vector<std::int64_t>(static_cast<std::size_t>(k)));
+  for (BlockId x = 0; x < k; ++x) {
+    for (BlockId y = 0; y < k; ++y) {
+      d[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)] = std::abs(x - y);
+    }
+  }
+  return TopologyMatrix(std::move(d));
+}
+
+TopologyMatrix TopologyMatrix::fully_connected(BlockId k, std::int64_t uniform) {
+  OMS_ASSERT(k >= 1 && uniform > 0);
+  std::vector<std::vector<std::int64_t>> d(
+      static_cast<std::size_t>(k),
+      std::vector<std::int64_t>(static_cast<std::size_t>(k), uniform));
+  for (BlockId x = 0; x < k; ++x) {
+    d[static_cast<std::size_t>(x)][static_cast<std::size_t>(x)] = 0;
+  }
+  return TopologyMatrix(std::move(d));
+}
+
+Cost mapping_cost_matrix(const CsrGraph& graph, const TopologyMatrix& topology,
+                         std::span<const BlockId> mapping) {
+  OMS_ASSERT(mapping.size() == graph.num_nodes());
+  Cost total = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const auto neigh = graph.neighbors(u);
+    const auto weights = graph.incident_weights(u);
+    const BlockId pu = mapping[u];
+    for (std::size_t i = 0; i < neigh.size(); ++i) {
+      total += weights[i] * topology.distance(pu, mapping[neigh[i]]);
+    }
+  }
+  return total;
+}
+
+} // namespace oms

@@ -1,0 +1,59 @@
+/// \file topology_matrix.hpp
+/// \brief Explicit k x k distance matrices for process mapping on
+///        *non-hierarchical* topologies (2D tori, chains, ...) — the general
+///        D of the paper's preliminaries (Section 2.1). The hierarchical
+///        SystemHierarchy is the special case the multi-section exploits;
+///        this class lets the evaluation machinery score mappings against
+///        any topology, including ones the streaming mapper was not built
+///        for (paper reference [24] targets Cartesian topologies).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "oms/graph/csr_graph.hpp"
+#include "oms/mapping/hierarchy.hpp"
+#include "oms/types.hpp"
+
+namespace oms {
+
+class TopologyMatrix {
+public:
+  /// Dense symmetric matrix with zero diagonal.
+  explicit TopologyMatrix(std::vector<std::vector<std::int64_t>> distances);
+
+  /// Materialize a hierarchical topology into matrix form (for testing the
+  /// equivalence of the two distance implementations, and for mixing
+  /// hierarchical and explicit topologies in one experiment).
+  [[nodiscard]] static TopologyMatrix from_hierarchy(const SystemHierarchy& topo);
+
+  /// k_x x k_y torus with unit hop cost and shortest-path (Manhattan with
+  /// wraparound) distances — the classic Blue-Gene-style interconnect.
+  [[nodiscard]] static TopologyMatrix torus_2d(BlockId k_x, BlockId k_y);
+
+  /// Linear chain of k PEs, distance = hop count.
+  [[nodiscard]] static TopologyMatrix chain(BlockId k);
+
+  /// Fully connected switch: all distinct pairs at distance \p uniform.
+  [[nodiscard]] static TopologyMatrix fully_connected(BlockId k,
+                                                      std::int64_t uniform = 1);
+
+  [[nodiscard]] BlockId num_pes() const noexcept {
+    return static_cast<BlockId>(distances_.size());
+  }
+
+  [[nodiscard]] std::int64_t distance(BlockId x, BlockId y) const noexcept {
+    return distances_[static_cast<std::size_t>(x)][static_cast<std::size_t>(y)];
+  }
+
+private:
+  std::vector<std::vector<std::int64_t>> distances_;
+};
+
+/// J(C, D, Pi) against an explicit matrix (ordered-pair convention, same as
+/// mapping_cost for hierarchies).
+[[nodiscard]] Cost mapping_cost_matrix(const CsrGraph& communication_graph,
+                                       const TopologyMatrix& topology,
+                                       std::span<const BlockId> mapping);
+
+} // namespace oms

@@ -1,0 +1,78 @@
+#include "oms/multilevel/contraction.hpp"
+
+#include <algorithm>
+
+#include "oms/graph/graph_builder.hpp"
+#include "oms/util/assert.hpp"
+
+namespace oms {
+
+Contraction contract(const CsrGraph& graph, const std::vector<NodeId>& cluster) {
+  const NodeId n = graph.num_nodes();
+  OMS_ASSERT(cluster.size() == n);
+  NodeId num_coarse = 0;
+  for (const NodeId c : cluster) {
+    num_coarse = std::max(num_coarse, c + 1);
+  }
+
+  std::vector<NodeWeight> coarse_weight(num_coarse, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    coarse_weight[cluster[u]] += graph.node_weight(u);
+  }
+
+  GraphBuilder builder(num_coarse);
+  for (NodeId c = 0; c < num_coarse; ++c) {
+    builder.set_node_weight(c, coarse_weight[c]);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    const auto neigh = graph.neighbors(u);
+    const auto weights = graph.incident_weights(u);
+    const NodeId cu = cluster[u];
+    for (std::size_t i = 0; i < neigh.size(); ++i) {
+      const NodeId cv = cluster[neigh[i]];
+      // Each fine edge is seen from both endpoints; keep one direction so
+      // the merged coarse weight equals the sum of crossing fine weights.
+      if (u < neigh[i] && cu != cv) {
+        builder.add_edge(cu, cv, weights[i]);
+      }
+    }
+  }
+
+  Contraction result{std::move(builder).build(), cluster};
+  return result;
+}
+
+std::vector<BlockId> project_partition(const std::vector<NodeId>& fine_to_coarse,
+                                       const std::vector<BlockId>& coarse_partition) {
+  std::vector<BlockId> fine(fine_to_coarse.size());
+  for (std::size_t u = 0; u < fine_to_coarse.size(); ++u) {
+    fine[u] = coarse_partition[fine_to_coarse[u]];
+  }
+  return fine;
+}
+
+InducedSubgraph induced_subgraph(const CsrGraph& graph,
+                                 const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> to_local(graph.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    OMS_ASSERT_MSG(to_local[nodes[i]] == kInvalidNode, "duplicate node in subset");
+    to_local[nodes[i]] = static_cast<NodeId>(i);
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(nodes.size()));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId u = nodes[i];
+    builder.set_node_weight(static_cast<NodeId>(i), graph.node_weight(u));
+    const auto neigh = graph.neighbors(u);
+    const auto weights = graph.incident_weights(u);
+    for (std::size_t j = 0; j < neigh.size(); ++j) {
+      const NodeId local_v = to_local[neigh[j]];
+      if (local_v != kInvalidNode && static_cast<NodeId>(i) < local_v) {
+        builder.add_edge(static_cast<NodeId>(i), local_v, weights[j]);
+      }
+    }
+  }
+  return InducedSubgraph{std::move(builder).build(), nodes};
+}
+
+} // namespace oms

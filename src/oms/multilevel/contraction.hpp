@@ -1,0 +1,40 @@
+/// \file contraction.hpp
+/// \brief Graph contraction and partition projection for the multilevel
+///        baseline: clusters become coarse nodes (weights summed), parallel
+///        coarse edges merge (weights summed), intra-cluster edges vanish.
+#pragma once
+
+#include <vector>
+
+#include "oms/graph/csr_graph.hpp"
+#include "oms/types.hpp"
+
+namespace oms {
+
+/// Result of contracting a graph by a cluster map.
+struct Contraction {
+  CsrGraph coarse;
+  std::vector<NodeId> fine_to_coarse; ///< size n_fine
+};
+
+/// \param cluster dense cluster ids in [0, num_clusters), e.g. from
+///        lp_clustering.
+[[nodiscard]] Contraction contract(const CsrGraph& graph,
+                                   const std::vector<NodeId>& cluster);
+
+/// Pull a coarse partition back to the finer level.
+[[nodiscard]] std::vector<BlockId> project_partition(
+    const std::vector<NodeId>& fine_to_coarse,
+    const std::vector<BlockId>& coarse_partition);
+
+/// Induced subgraph over \p nodes (used by the offline recursive
+/// multi-section to recurse into a block). Preserves node and edge weights.
+struct InducedSubgraph {
+  CsrGraph graph;
+  std::vector<NodeId> to_parent; ///< new id -> id in the parent graph
+};
+
+[[nodiscard]] InducedSubgraph induced_subgraph(const CsrGraph& graph,
+                                               const std::vector<NodeId>& nodes);
+
+} // namespace oms

@@ -1,0 +1,95 @@
+#include "oms/multilevel/greedy_mapping.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "oms/util/assert.hpp"
+
+namespace oms {
+
+std::vector<BlockId> greedy_block_to_pe(const BlockGraph& block_graph,
+                                        const SystemHierarchy& topology) {
+  const BlockId k = block_graph.k;
+  OMS_ASSERT_MSG(k == topology.num_pes(), "one PE per block required");
+
+  std::vector<BlockId> perm(static_cast<std::size_t>(k), kInvalidBlock);
+  std::vector<bool> pe_used(static_cast<std::size_t>(k), false);
+  std::vector<bool> block_placed(static_cast<std::size_t>(k), false);
+  // Connectivity of each unplaced block to the placed set (updated online).
+  std::vector<EdgeWeight> tie(static_cast<std::size_t>(k), 0);
+
+  // Seed: the block with the largest total communication volume, on PE 0
+  // (all PEs are equivalent before anything else is placed).
+  BlockId seed = 0;
+  EdgeWeight seed_volume = -1;
+  for (BlockId b = 0; b < k; ++b) {
+    EdgeWeight volume = 0;
+    for (const auto& [c, w] : block_graph.adjacency[static_cast<std::size_t>(b)]) {
+      volume += w;
+    }
+    if (volume > seed_volume) {
+      seed = b;
+      seed_volume = volume;
+    }
+  }
+  const auto place = [&](BlockId block, BlockId pe) {
+    perm[static_cast<std::size_t>(block)] = pe;
+    pe_used[static_cast<std::size_t>(pe)] = true;
+    block_placed[static_cast<std::size_t>(block)] = true;
+    for (const auto& [c, w] : block_graph.adjacency[static_cast<std::size_t>(block)]) {
+      tie[static_cast<std::size_t>(c)] += w;
+    }
+  };
+  place(seed, 0);
+
+  for (BlockId round = 1; round < k; ++round) {
+    // Strongest unplaced block; isolated blocks (tie 0) come last, by index.
+    BlockId next = kInvalidBlock;
+    EdgeWeight best_tie = -1;
+    for (BlockId b = 0; b < k; ++b) {
+      if (!block_placed[static_cast<std::size_t>(b)] &&
+          tie[static_cast<std::size_t>(b)] > best_tie) {
+        next = b;
+        best_tie = tie[static_cast<std::size_t>(b)];
+      }
+    }
+    OMS_ASSERT(next != kInvalidBlock);
+
+    // Free PE minimizing the added communication cost to placed neighbors.
+    BlockId best_pe = kInvalidBlock;
+    std::int64_t best_cost = std::numeric_limits<std::int64_t>::max();
+    for (BlockId pe = 0; pe < k; ++pe) {
+      if (pe_used[static_cast<std::size_t>(pe)]) {
+        continue;
+      }
+      std::int64_t cost = 0;
+      for (const auto& [c, w] :
+           block_graph.adjacency[static_cast<std::size_t>(next)]) {
+        if (block_placed[static_cast<std::size_t>(c)]) {
+          cost += static_cast<std::int64_t>(w) *
+                  topology.distance(pe, perm[static_cast<std::size_t>(c)]);
+        }
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_pe = pe;
+      }
+    }
+    place(next, best_pe);
+  }
+  return perm;
+}
+
+std::vector<BlockId> apply_greedy_mapping(const CsrGraph& graph,
+                                          std::vector<BlockId>& partition,
+                                          const SystemHierarchy& topology) {
+  const BlockGraph block_graph =
+      BlockGraph::build(graph, partition, topology.num_pes());
+  std::vector<BlockId> perm = greedy_block_to_pe(block_graph, topology);
+  for (BlockId& pe : partition) {
+    pe = perm[static_cast<std::size_t>(pe)];
+  }
+  return perm;
+}
+
+} // namespace oms

@@ -1,0 +1,232 @@
+#include "oms/multilevel/label_propagation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "oms/util/assert.hpp"
+#include "oms/util/random.hpp"
+
+namespace oms {
+namespace {
+
+/// Sparse gather of connection weights keyed by label; reset via touched list.
+class ConnectionGather {
+public:
+  explicit ConnectionGather(std::size_t universe) : weight_(universe, 0) {}
+
+  void add(std::size_t label, EdgeWeight w) {
+    if (weight_[label] == 0) {
+      touched_.push_back(label);
+    }
+    weight_[label] += w;
+  }
+
+  [[nodiscard]] EdgeWeight get(std::size_t label) const { return weight_[label]; }
+  [[nodiscard]] const std::vector<std::size_t>& touched() const { return touched_; }
+
+  void clear() {
+    for (const std::size_t label : touched_) {
+      weight_[label] = 0;
+    }
+    touched_.clear();
+  }
+
+private:
+  std::vector<EdgeWeight> weight_;
+  std::vector<std::size_t> touched_;
+};
+
+} // namespace
+
+std::vector<NodeId> lp_clustering(const CsrGraph& graph,
+                                  NodeWeight max_cluster_weight,
+                                  const LabelPropagationConfig& config) {
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> cluster(n);
+  std::iota(cluster.begin(), cluster.end(), NodeId{0});
+  std::vector<NodeWeight> cluster_weight(n);
+  for (NodeId u = 0; u < n; ++u) {
+    cluster_weight[u] = graph.node_weight(u);
+  }
+
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  Rng rng(config.seed);
+  ConnectionGather gather(n);
+
+  for (int iteration = 0; iteration < config.max_iterations; ++iteration) {
+    rng.shuffle(order);
+    std::size_t moved = 0;
+    for (const NodeId u : order) {
+      const auto neigh = graph.neighbors(u);
+      if (neigh.empty()) {
+        continue;
+      }
+      const auto weights = graph.incident_weights(u);
+      for (std::size_t i = 0; i < neigh.size(); ++i) {
+        gather.add(cluster[neigh[i]], weights[i]);
+      }
+      const NodeId current = cluster[u];
+      NodeId best = current;
+      EdgeWeight best_connection = gather.get(current);
+      for (const std::size_t candidate : gather.touched()) {
+        const auto c = static_cast<NodeId>(candidate);
+        if (c == current) {
+          continue;
+        }
+        if (cluster_weight[c] + graph.node_weight(u) > max_cluster_weight) {
+          continue;
+        }
+        const EdgeWeight connection = gather.get(candidate);
+        if (connection > best_connection ||
+            (connection == best_connection && c < best)) {
+          best = c;
+          best_connection = connection;
+        }
+      }
+      gather.clear();
+      if (best != current) {
+        cluster_weight[current] -= graph.node_weight(u);
+        cluster_weight[best] += graph.node_weight(u);
+        cluster[u] = best;
+        ++moved;
+      }
+    }
+    if (moved == 0) {
+      break;
+    }
+  }
+
+  // Dense renumbering of surviving cluster ids.
+  std::vector<NodeId> remap(n, kInvalidNode);
+  NodeId next = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    NodeId& slot = remap[cluster[u]];
+    if (slot == kInvalidNode) {
+      slot = next++;
+    }
+    cluster[u] = slot;
+  }
+  return cluster;
+}
+
+std::size_t lp_refinement(const CsrGraph& graph, std::vector<BlockId>& partition,
+                          BlockId k, NodeWeight max_block_weight,
+                          const LabelPropagationConfig& config) {
+  const NodeId n = graph.num_nodes();
+  OMS_ASSERT(partition.size() == n);
+  std::vector<NodeWeight> block_weight(static_cast<std::size_t>(k), 0);
+  for (NodeId u = 0; u < n; ++u) {
+    block_weight[static_cast<std::size_t>(partition[u])] += graph.node_weight(u);
+  }
+
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  Rng rng(config.seed);
+  ConnectionGather gather(static_cast<std::size_t>(k));
+  std::size_t total_moved = 0;
+
+  for (int iteration = 0; iteration < config.max_iterations; ++iteration) {
+    rng.shuffle(order);
+    std::size_t moved = 0;
+    for (const NodeId u : order) {
+      const auto neigh = graph.neighbors(u);
+      if (neigh.empty()) {
+        continue;
+      }
+      const auto weights = graph.incident_weights(u);
+      for (std::size_t i = 0; i < neigh.size(); ++i) {
+        gather.add(static_cast<std::size_t>(partition[neigh[i]]), weights[i]);
+      }
+      const auto current = static_cast<std::size_t>(partition[u]);
+      const EdgeWeight internal = gather.get(current);
+      std::size_t best = current;
+      EdgeWeight best_connection = internal;
+      NodeWeight best_weight = block_weight[current];
+      for (const std::size_t candidate : gather.touched()) {
+        if (candidate == current) {
+          continue;
+        }
+        if (block_weight[candidate] + graph.node_weight(u) > max_block_weight) {
+          continue;
+        }
+        const EdgeWeight connection = gather.get(candidate);
+        // Strict gain, or zero gain towards a lighter block (helps balance
+        // without hurting the cut).
+        if (connection > best_connection ||
+            (connection == best_connection &&
+             block_weight[candidate] < best_weight)) {
+          best = candidate;
+          best_connection = connection;
+          best_weight = block_weight[candidate];
+        }
+      }
+      gather.clear();
+      if (best != current) {
+        block_weight[current] -= graph.node_weight(u);
+        block_weight[best] += graph.node_weight(u);
+        partition[u] = static_cast<BlockId>(best);
+        ++moved;
+      }
+    }
+    total_moved += moved;
+    if (moved == 0) {
+      break;
+    }
+  }
+  return total_moved;
+}
+
+void rebalance(const CsrGraph& graph, std::vector<BlockId>& partition, BlockId k,
+               NodeWeight max_block_weight) {
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeWeight> block_weight(static_cast<std::size_t>(k), 0);
+  for (NodeId u = 0; u < n; ++u) {
+    block_weight[static_cast<std::size_t>(partition[u])] += graph.node_weight(u);
+  }
+
+  // Collect nodes of overweight blocks, lightest first, and push them to the
+  // lightest block that can take them.
+  for (BlockId b = 0; b < k; ++b) {
+    if (block_weight[static_cast<std::size_t>(b)] <= max_block_weight) {
+      continue;
+    }
+    std::vector<NodeId> members;
+    for (NodeId u = 0; u < n; ++u) {
+      if (partition[u] == b) {
+        members.push_back(u);
+      }
+    }
+    // Moving low-degree nodes first tends to cost the least cut.
+    std::sort(members.begin(), members.end(), [&](NodeId a, NodeId c) {
+      return graph.degree(a) < graph.degree(c);
+    });
+    for (const NodeId u : members) {
+      if (block_weight[static_cast<std::size_t>(b)] <= max_block_weight) {
+        break;
+      }
+      BlockId target = kInvalidBlock;
+      for (BlockId t = 0; t < k; ++t) {
+        if (t == b) {
+          continue;
+        }
+        if (block_weight[static_cast<std::size_t>(t)] + graph.node_weight(u) >
+            max_block_weight) {
+          continue;
+        }
+        if (target == kInvalidBlock ||
+            block_weight[static_cast<std::size_t>(t)] <
+                block_weight[static_cast<std::size_t>(target)]) {
+          target = t;
+        }
+      }
+      OMS_ASSERT_MSG(target != kInvalidBlock,
+                     "rebalance impossible: total capacity below total weight");
+      block_weight[static_cast<std::size_t>(b)] -= graph.node_weight(u);
+      block_weight[static_cast<std::size_t>(target)] += graph.node_weight(u);
+      partition[u] = target;
+    }
+  }
+}
+
+} // namespace oms

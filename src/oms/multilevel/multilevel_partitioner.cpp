@@ -1,0 +1,178 @@
+#include "oms/multilevel/multilevel_partitioner.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "oms/multilevel/contraction.hpp"
+#include "oms/multilevel/label_propagation.hpp"
+#include "oms/partition/metrics.hpp"
+#include "oms/partition/partition_config.hpp"
+#include "oms/util/assert.hpp"
+#include "oms/util/random.hpp"
+
+namespace oms {
+
+std::vector<BlockId> bfs_band_partition(const CsrGraph& graph, BlockId k,
+                                        NodeWeight max_block_weight,
+                                        std::uint64_t seed) {
+  const NodeId n = graph.num_nodes();
+  std::vector<BlockId> partition(n, kInvalidBlock);
+  std::vector<bool> visited(n, false);
+  std::vector<NodeWeight> block_weight(static_cast<std::size_t>(k), 0);
+
+  Rng rng(seed);
+  BlockId current = 0;
+  const auto place = [&](NodeId u) {
+    // Advance to the next block with room; wrap once if needed.
+    for (BlockId probes = 0; probes < k; ++probes) {
+      const BlockId b = (current + probes) % k;
+      if (block_weight[static_cast<std::size_t>(b)] + graph.node_weight(u) <=
+          max_block_weight) {
+        current = b;
+        block_weight[static_cast<std::size_t>(b)] += graph.node_weight(u);
+        partition[u] = b;
+        return;
+      }
+    }
+    // All full (only possible with eps == 0 and awkward weights): lightest.
+    BlockId lightest = 0;
+    for (BlockId b = 1; b < k; ++b) {
+      if (block_weight[static_cast<std::size_t>(b)] <
+          block_weight[static_cast<std::size_t>(lightest)]) {
+        lightest = b;
+      }
+    }
+    block_weight[static_cast<std::size_t>(lightest)] += graph.node_weight(u);
+    partition[u] = lightest;
+  };
+
+  std::queue<NodeId> queue;
+  const auto start = static_cast<NodeId>(rng.next_below(n));
+  for (NodeId offset = 0; offset < n; ++offset) {
+    const NodeId root = (start + offset) % n;
+    if (visited[root]) {
+      continue;
+    }
+    visited[root] = true;
+    queue.push(root);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop();
+      place(u);
+      for (const NodeId v : graph.neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          queue.push(v);
+        }
+      }
+    }
+  }
+  return partition;
+}
+
+MultilevelResult multilevel_partition(const CsrGraph& graph, BlockId k,
+                                      const MultilevelConfig& config) {
+  OMS_ASSERT(k >= 1);
+  const NodeWeight lmax = max_block_weight(graph.total_node_weight(), k,
+                                           config.epsilon);
+
+  // --- Coarsening -------------------------------------------------------
+  // The hierarchy owns each coarse level; level 0 aliases the input graph.
+  std::vector<Contraction> hierarchy;
+  const CsrGraph* current = &graph;
+  std::uint64_t live_bytes = graph.memory_footprint_bytes();
+  std::uint64_t peak_bytes = live_bytes;
+  const NodeId target = std::max<NodeId>(
+      config.coarse_floor,
+      static_cast<NodeId>(std::min<std::int64_t>(
+          static_cast<std::int64_t>(config.coarsening_factor) * k,
+          static_cast<std::int64_t>(graph.num_nodes()))));
+
+  LabelPropagationConfig lp;
+  lp.seed = config.seed;
+  // Cluster weight cap: keep coarse nodes small enough that a balanced
+  // k-way partition of the coarsest graph remains feasible.
+  const NodeWeight max_cluster_weight =
+      std::max<NodeWeight>(1, graph.total_node_weight() / std::max<BlockId>(1, 4 * k));
+
+  for (int level = 0; level < config.max_levels; ++level) {
+    if (current->num_nodes() <= target) {
+      break;
+    }
+    lp.seed = config.seed + static_cast<std::uint64_t>(level) + 1;
+    const std::vector<NodeId> cluster =
+        lp_clustering(*current, max_cluster_weight, lp);
+    const NodeId num_clusters = *std::max_element(cluster.begin(), cluster.end()) + 1;
+    if (num_clusters >= current->num_nodes() ||
+        num_clusters < target / 2 + 1) {
+      // No progress, or overshooting the target: stop coarsening here.
+      if (num_clusters >= current->num_nodes()) {
+        break;
+      }
+    }
+    hierarchy.push_back(contract(*current, cluster));
+    current = &hierarchy.back().coarse;
+    live_bytes += current->memory_footprint_bytes();
+    peak_bytes = std::max(peak_bytes, live_bytes);
+  }
+
+  // Balance bound per level: coarse nodes can be heavy, so a strict Lmax may
+  // be unachievable at coarse levels (bin-packing granularity). The standard
+  // remedy is Lmax + (max node weight) there; the finest level re-enforces
+  // the strict bound, which is always achievable for unit node weights.
+  const auto bound_for = [lmax](const CsrGraph& level_graph) {
+    NodeWeight heaviest = 1;
+    for (NodeId u = 0; u < level_graph.num_nodes(); ++u) {
+      heaviest = std::max(heaviest, level_graph.node_weight(u));
+    }
+    return heaviest <= 1 ? lmax : lmax + heaviest;
+  };
+
+  // --- Initial partitioning ---------------------------------------------
+  // Best of several seeds: the coarsest graph is small, so repeated initial
+  // partitioning is cheap and buys noticeable quality (standard multilevel
+  // practice).
+  const NodeWeight coarsest_bound = bound_for(*current);
+  LabelPropagationConfig refine;
+  refine.max_iterations = config.refinement_iterations;
+
+  std::vector<BlockId> partition;
+  Cost best_cut = 0;
+  for (int attempt = 0; attempt < config.initial_attempts; ++attempt) {
+    const std::uint64_t seed = config.seed + static_cast<std::uint64_t>(attempt) * 101;
+    std::vector<BlockId> candidate =
+        bfs_band_partition(*current, k, coarsest_bound, seed);
+    rebalance(*current, candidate, k, coarsest_bound);
+    refine.seed = seed ^ 0x9e3779b9ULL;
+    lp_refinement(*current, candidate, k, coarsest_bound, refine);
+    const Cost cut = edge_cut(*current, candidate);
+    if (attempt == 0 || cut < best_cut) {
+      best_cut = cut;
+      partition = std::move(candidate);
+    }
+  }
+  refine.seed = config.seed ^ 0x9e3779b9ULL;
+
+  // --- Uncoarsening -------------------------------------------------------
+  for (std::size_t level = hierarchy.size(); level-- > 0;) {
+    partition = project_partition(hierarchy[level].fine_to_coarse, partition);
+    const CsrGraph& fine =
+        (level == 0) ? graph : hierarchy[level - 1].coarse;
+    const NodeWeight bound = bound_for(fine);
+    refine.seed += 1;
+    lp_refinement(fine, partition, k, bound, refine);
+    rebalance(fine, partition, k, bound);
+  }
+  if (hierarchy.empty()) {
+    // No uncoarsening happened: enforce the strict input-level bound now.
+    rebalance(graph, partition, k, bound_for(graph));
+  }
+
+  MultilevelResult result;
+  result.partition = std::move(partition);
+  result.levels_used = static_cast<int>(hierarchy.size());
+  result.peak_graph_bytes = peak_bytes;
+  return result;
+}
+
+} // namespace oms

@@ -1,0 +1,98 @@
+#include "oms/partition/fennel.hpp"
+
+namespace oms {
+
+FennelPartitioner::FennelPartitioner(NodeId num_nodes, EdgeIndex num_edges,
+                                     NodeWeight total_node_weight,
+                                     const PartitionConfig& config)
+    : FennelPartitioner(num_nodes, total_node_weight, config,
+                        FennelParams::standard(num_nodes, num_edges, config.k)) {}
+
+FennelPartitioner::FennelPartitioner(NodeId num_nodes, NodeWeight total_node_weight,
+                                     const PartitionConfig& config,
+                                     const FennelParams& params)
+    : config_(config),
+      params_(params),
+      max_block_weight_(max_block_weight(total_node_weight, config.k, config.epsilon)),
+      assignment_(num_nodes, kInvalidBlock),
+      weights_(static_cast<std::size_t>(config.k)) {
+  OMS_ASSERT(config.k >= 1);
+}
+
+void FennelPartitioner::prepare(int num_threads) {
+  scratch_.resize(static_cast<std::size_t>(num_threads));
+  for (auto& s : scratch_) {
+    s.neighbor_weight.assign(static_cast<std::size_t>(config_.k), 0);
+    s.touched.clear();
+  }
+}
+
+BlockId FennelPartitioner::assign(const StreamedNode& node, int thread_id,
+                                  WorkCounters& counters) {
+  auto& scratch = scratch_[static_cast<std::size_t>(thread_id)];
+
+  for (std::size_t i = 0; i < node.neighbors.size(); ++i) {
+    counters.neighbor_visits += 1;
+    const BlockId nb = assignment_[node.neighbors[i]];
+    if (nb == kInvalidBlock) {
+      continue;
+    }
+    if (scratch.neighbor_weight[static_cast<std::size_t>(nb)] == 0) {
+      scratch.touched.push_back(nb);
+    }
+    scratch.neighbor_weight[static_cast<std::size_t>(nb)] += node.edge_weights[i];
+  }
+
+  BlockId best = kInvalidBlock;
+  double best_score = 0.0;
+  NodeWeight best_weight = 0;
+  for (BlockId b = 0; b < config_.k; ++b) {
+    counters.score_evaluations += 1;
+    const NodeWeight w = weights_.load(static_cast<std::size_t>(b));
+    if (w + node.weight > max_block_weight_) {
+      continue;
+    }
+    const double score =
+        static_cast<double>(scratch.neighbor_weight[static_cast<std::size_t>(b)]) -
+        fennel_penalty(params_.alpha, params_.gamma, w);
+    if (best == kInvalidBlock || score > best_score ||
+        (score == best_score && w < best_weight)) {
+      best = b;
+      best_score = score;
+      best_weight = w;
+    }
+  }
+  if (best == kInvalidBlock) {
+    best = 0;
+    for (BlockId b = 1; b < config_.k; ++b) {
+      if (weights_.load(static_cast<std::size_t>(b)) <
+          weights_.load(static_cast<std::size_t>(best))) {
+        best = b;
+      }
+    }
+  }
+
+  for (const BlockId b : scratch.touched) {
+    scratch.neighbor_weight[static_cast<std::size_t>(b)] = 0;
+  }
+  scratch.touched.clear();
+
+  weights_.add(static_cast<std::size_t>(best), node.weight);
+  assignment_[node.id] = best;
+  counters.layers_traversed += 1;
+  return best;
+}
+
+void FennelPartitioner::unassign(NodeId u, NodeWeight weight) {
+  const BlockId b = assignment_[u];
+  OMS_ASSERT_MSG(b != kInvalidBlock, "unassign of a never-assigned node");
+  weights_.add(static_cast<std::size_t>(b), -weight);
+  assignment_[u] = kInvalidBlock;
+}
+
+std::uint64_t FennelPartitioner::state_bytes() const noexcept {
+  return static_cast<std::uint64_t>(assignment_.capacity() * sizeof(BlockId) +
+                                    weights_.size() * sizeof(NodeWeight));
+}
+
+} // namespace oms

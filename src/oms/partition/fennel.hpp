@@ -1,0 +1,56 @@
+/// \file fennel.hpp
+/// \brief Fennel (Tsourakakis et al., WSDM'14): one-pass partitioning with an
+///        additive degree-based penalty. Node v goes to the block maximizing
+///        |V_i intersect N(v)| - alpha * gamma * c(V_i)^(gamma-1) among blocks
+///        with room, with gamma = 3/2 and alpha = sqrt(k) m / n^(3/2).
+///        O(m + n*k) per pass — the state of the art the paper races against.
+#pragma once
+
+#include <vector>
+
+#include "oms/partition/partition_config.hpp"
+#include "oms/stream/block_weights.hpp"
+#include "oms/stream/one_pass_driver.hpp"
+
+namespace oms {
+
+class FennelPartitioner final : public OnePassAssigner {
+public:
+  /// \param num_edges used for the standard alpha; pass an override through
+  ///        \p params to study non-default objectives.
+  FennelPartitioner(NodeId num_nodes, EdgeIndex num_edges,
+                    NodeWeight total_node_weight, const PartitionConfig& config);
+  FennelPartitioner(NodeId num_nodes, NodeWeight total_node_weight,
+                    const PartitionConfig& config, const FennelParams& params);
+
+  void prepare(int num_threads) override;
+  BlockId assign(const StreamedNode& node, int thread_id,
+                 WorkCounters& counters) override;
+  [[nodiscard]] BlockId block_of(NodeId u) const override { return assignment_[u]; }
+  [[nodiscard]] BlockId num_blocks() const override { return config_.k; }
+  [[nodiscard]] std::vector<BlockId> take_assignment() override {
+    return std::move(assignment_);
+  }
+
+  [[nodiscard]] const FennelParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint64_t state_bytes() const noexcept;
+
+  /// Restreaming support (ReFennel): remove \p u from its current block so a
+  /// later assign() can re-place it with fresh scores.
+  void unassign(NodeId u, NodeWeight weight);
+
+private:
+  struct Scratch {
+    std::vector<EdgeWeight> neighbor_weight;
+    std::vector<BlockId> touched;
+  };
+
+  PartitionConfig config_;
+  FennelParams params_;
+  NodeWeight max_block_weight_;
+  std::vector<BlockId> assignment_;
+  BlockWeights weights_;
+  std::vector<Scratch> scratch_;
+};
+
+} // namespace oms

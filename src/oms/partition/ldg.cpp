@@ -1,0 +1,90 @@
+#include "oms/partition/ldg.hpp"
+
+namespace oms {
+
+LdgPartitioner::LdgPartitioner(NodeId num_nodes, NodeWeight total_node_weight,
+                               const PartitionConfig& config)
+    : config_(config),
+      max_block_weight_(max_block_weight(total_node_weight, config.k, config.epsilon)),
+      assignment_(num_nodes, kInvalidBlock),
+      weights_(static_cast<std::size_t>(config.k)) {
+  OMS_ASSERT(config.k >= 1);
+}
+
+void LdgPartitioner::prepare(int num_threads) {
+  scratch_.resize(static_cast<std::size_t>(num_threads));
+  for (auto& s : scratch_) {
+    s.neighbor_weight.assign(static_cast<std::size_t>(config_.k), 0);
+    s.touched.clear();
+  }
+}
+
+BlockId LdgPartitioner::assign(const StreamedNode& node, int thread_id,
+                               WorkCounters& counters) {
+  auto& scratch = scratch_[static_cast<std::size_t>(thread_id)];
+
+  // Gather the weight of already-assigned neighbors per block.
+  for (std::size_t i = 0; i < node.neighbors.size(); ++i) {
+    counters.neighbor_visits += 1;
+    const BlockId nb = assignment_[node.neighbors[i]];
+    if (nb == kInvalidBlock) {
+      continue;
+    }
+    if (scratch.neighbor_weight[static_cast<std::size_t>(nb)] == 0) {
+      scratch.touched.push_back(nb);
+    }
+    scratch.neighbor_weight[static_cast<std::size_t>(nb)] += node.edge_weights[i];
+  }
+
+  // Score all k blocks: attraction * remaining-capacity penalty.
+  BlockId best = kInvalidBlock;
+  double best_score = -1.0;
+  NodeWeight best_weight = 0;
+  for (BlockId b = 0; b < config_.k; ++b) {
+    counters.score_evaluations += 1;
+    const NodeWeight w = weights_.load(static_cast<std::size_t>(b));
+    if (w + node.weight > max_block_weight_) {
+      continue;
+    }
+    const double penalty =
+        1.0 - static_cast<double>(w) / static_cast<double>(max_block_weight_);
+    const double score =
+        static_cast<double>(scratch.neighbor_weight[static_cast<std::size_t>(b)]) *
+        penalty;
+    // Tie-break towards the lighter block (paper / Stanton-Kliot rule).
+    if (best == kInvalidBlock || score > best_score ||
+        (score == best_score && w < best_weight)) {
+      best = b;
+      best_score = score;
+      best_weight = w;
+    }
+  }
+  if (best == kInvalidBlock) {
+    // All blocks momentarily at capacity (possible only transiently under
+    // parallel overshoot): fall back to the globally lightest block.
+    best = 0;
+    for (BlockId b = 1; b < config_.k; ++b) {
+      if (weights_.load(static_cast<std::size_t>(b)) <
+          weights_.load(static_cast<std::size_t>(best))) {
+        best = b;
+      }
+    }
+  }
+
+  for (const BlockId b : scratch.touched) {
+    scratch.neighbor_weight[static_cast<std::size_t>(b)] = 0;
+  }
+  scratch.touched.clear();
+
+  weights_.add(static_cast<std::size_t>(best), node.weight);
+  assignment_[node.id] = best;
+  counters.layers_traversed += 1;
+  return best;
+}
+
+std::uint64_t LdgPartitioner::state_bytes() const noexcept {
+  return static_cast<std::uint64_t>(assignment_.capacity() * sizeof(BlockId) +
+                                    weights_.size() * sizeof(NodeWeight));
+}
+
+} // namespace oms

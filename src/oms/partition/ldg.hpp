@@ -1,0 +1,44 @@
+/// \file ldg.hpp
+/// \brief Linear Deterministic Greedy (Stanton & Kliot): assign node v to the
+///        block maximizing |V_i intersect N(v)| * (1 - c(V_i)/Lmax), breaking
+///        ties towards the lighter block. O(m + n*k) over a pass.
+#pragma once
+
+#include <vector>
+
+#include "oms/partition/partition_config.hpp"
+#include "oms/stream/block_weights.hpp"
+#include "oms/stream/one_pass_driver.hpp"
+
+namespace oms {
+
+class LdgPartitioner final : public OnePassAssigner {
+public:
+  LdgPartitioner(NodeId num_nodes, NodeWeight total_node_weight,
+                 const PartitionConfig& config);
+
+  void prepare(int num_threads) override;
+  BlockId assign(const StreamedNode& node, int thread_id,
+                 WorkCounters& counters) override;
+  [[nodiscard]] BlockId block_of(NodeId u) const override { return assignment_[u]; }
+  [[nodiscard]] BlockId num_blocks() const override { return config_.k; }
+  [[nodiscard]] std::vector<BlockId> take_assignment() override {
+    return std::move(assignment_);
+  }
+
+  [[nodiscard]] std::uint64_t state_bytes() const noexcept;
+
+private:
+  struct Scratch {
+    std::vector<EdgeWeight> neighbor_weight; // size k, reset via touched list
+    std::vector<BlockId> touched;
+  };
+
+  PartitionConfig config_;
+  NodeWeight max_block_weight_;
+  std::vector<BlockId> assignment_;
+  BlockWeights weights_;
+  std::vector<Scratch> scratch_;
+};
+
+} // namespace oms

@@ -1,0 +1,79 @@
+#include "oms/partition/metrics.hpp"
+
+#include <algorithm>
+
+#include "oms/partition/partition_config.hpp"
+#include "oms/util/assert.hpp"
+
+namespace oms {
+
+Cost edge_cut(const CsrGraph& graph, std::span<const BlockId> partition) {
+  OMS_ASSERT(partition.size() == graph.num_nodes());
+  Cost doubled_cut = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const auto neigh = graph.neighbors(u);
+    const auto weights = graph.incident_weights(u);
+    const BlockId bu = partition[u];
+    for (std::size_t i = 0; i < neigh.size(); ++i) {
+      if (partition[neigh[i]] != bu) {
+        doubled_cut += weights[i];
+      }
+    }
+  }
+  OMS_ASSERT_MSG(doubled_cut % 2 == 0, "cut arcs must pair up");
+  return doubled_cut / 2;
+}
+
+std::vector<NodeWeight> block_weights_of(const CsrGraph& graph,
+                                         std::span<const BlockId> partition,
+                                         BlockId k) {
+  OMS_ASSERT(partition.size() == graph.num_nodes());
+  std::vector<NodeWeight> weights(static_cast<std::size_t>(k), 0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const BlockId b = partition[u];
+    OMS_ASSERT_MSG(b >= 0 && b < k, "node assigned outside [0, k)");
+    weights[static_cast<std::size_t>(b)] += graph.node_weight(u);
+  }
+  return weights;
+}
+
+double imbalance(const CsrGraph& graph, std::span<const BlockId> partition, BlockId k) {
+  const auto weights = block_weights_of(graph, partition, k);
+  const NodeWeight heaviest = *std::max_element(weights.begin(), weights.end());
+  const double perfect =
+      static_cast<double>(graph.total_node_weight()) / static_cast<double>(k);
+  if (perfect == 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(heaviest) / perfect - 1.0;
+}
+
+bool is_balanced(const CsrGraph& graph, std::span<const BlockId> partition, BlockId k,
+                 double epsilon) {
+  const auto weights = block_weights_of(graph, partition, k);
+  const NodeWeight lmax = max_block_weight(graph.total_node_weight(), k, epsilon);
+  return std::all_of(weights.begin(), weights.end(),
+                     [lmax](NodeWeight w) { return w <= lmax; });
+}
+
+void verify_partition(const CsrGraph& graph, std::span<const BlockId> partition,
+                      BlockId k) {
+  OMS_ASSERT_MSG(partition.size() == graph.num_nodes(),
+                 "partition size must equal node count");
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    OMS_ASSERT_MSG(partition[u] >= 0 && partition[u] < k,
+                   "node assigned outside [0, k)");
+  }
+}
+
+BlockId num_non_empty_blocks(std::span<const BlockId> partition, BlockId k) {
+  std::vector<bool> seen(static_cast<std::size_t>(k), false);
+  for (const BlockId b : partition) {
+    if (b >= 0 && b < k) {
+      seen[static_cast<std::size_t>(b)] = true;
+    }
+  }
+  return static_cast<BlockId>(std::count(seen.begin(), seen.end(), true));
+}
+
+} // namespace oms

@@ -1,0 +1,37 @@
+/// \file metrics.hpp
+/// \brief Partition quality metrics: edge-cut, imbalance, and validity
+///        checking — the objective functions of the paper's GP experiments.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "oms/graph/csr_graph.hpp"
+#include "oms/types.hpp"
+
+namespace oms {
+
+/// Sum of weights of edges whose endpoints lie in different blocks.
+[[nodiscard]] Cost edge_cut(const CsrGraph& graph, std::span<const BlockId> partition);
+
+/// Weight of each block.
+[[nodiscard]] std::vector<NodeWeight> block_weights_of(
+    const CsrGraph& graph, std::span<const BlockId> partition, BlockId k);
+
+/// max_i c(V_i) * k / c(V) - 1; 0 means perfectly balanced.
+[[nodiscard]] double imbalance(const CsrGraph& graph, std::span<const BlockId> partition,
+                               BlockId k);
+
+/// True iff every block respects Lmax = ceil((1+eps) c(V)/k).
+[[nodiscard]] bool is_balanced(const CsrGraph& graph, std::span<const BlockId> partition,
+                               BlockId k, double epsilon);
+
+/// Abort with a diagnostic unless the partition is structurally valid:
+/// every node assigned to [0, k).
+void verify_partition(const CsrGraph& graph, std::span<const BlockId> partition,
+                      BlockId k);
+
+/// Number of blocks that actually received at least one node.
+[[nodiscard]] BlockId num_non_empty_blocks(std::span<const BlockId> partition, BlockId k);
+
+} // namespace oms

@@ -1,0 +1,58 @@
+/// \file partition_config.hpp
+/// \brief Common parameters of the k-way balanced partitioning problem and
+///        the Fennel objective constants from Tsourakakis et al.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "oms/types.hpp"
+#include "oms/util/assert.hpp"
+
+namespace oms {
+
+/// Balance constraint of the paper: Lmax = ceil((1 + eps) * c(V) / k).
+[[nodiscard]] inline NodeWeight max_block_weight(NodeWeight total_node_weight,
+                                                 BlockId k, double epsilon) {
+  OMS_ASSERT(k >= 1);
+  OMS_ASSERT(epsilon >= 0.0);
+  const double bound = (1.0 + epsilon) * static_cast<double>(total_node_weight) /
+                       static_cast<double>(k);
+  return static_cast<NodeWeight>(std::ceil(bound));
+}
+
+/// Fennel's tuned objective constants: gamma = 3/2 and
+/// alpha = sqrt(k) * m / n^(3/2)  (Section 2.2 of the paper).
+struct FennelParams {
+  double alpha = 0.0;
+  double gamma = 1.5;
+
+  [[nodiscard]] static FennelParams standard(NodeId n, EdgeIndex m, BlockId k) {
+    OMS_ASSERT(n > 0);
+    FennelParams params;
+    params.gamma = 1.5;
+    params.alpha = std::sqrt(static_cast<double>(k)) * static_cast<double>(m) /
+                   std::pow(static_cast<double>(n), 1.5);
+    return params;
+  }
+};
+
+/// Additive Fennel penalty f(w) = alpha * gamma * w^(gamma-1); specialized
+/// for the tuned gamma = 3/2 where w^(1/2) avoids std::pow on the hot path.
+[[nodiscard]] inline double fennel_penalty(double alpha, double gamma,
+                                           NodeWeight block_weight) noexcept {
+  const auto w = static_cast<double>(block_weight);
+  if (gamma == 1.5) {
+    return alpha * 1.5 * std::sqrt(w);
+  }
+  return alpha * gamma * std::pow(w, gamma - 1.0);
+}
+
+/// Shared knobs of the streaming partitioners.
+struct PartitionConfig {
+  BlockId k = 2;
+  double epsilon = 0.03; ///< paper default: 3% imbalance
+  std::uint64_t seed = 1;
+};
+
+} // namespace oms

@@ -1,0 +1,37 @@
+#include "oms/partition/restream.hpp"
+
+#include "oms/partition/metrics.hpp"
+#include "oms/util/timer.hpp"
+
+namespace oms {
+
+RestreamResult restream(const CsrGraph& graph, RestreamableAssigner& assigner,
+                        int passes) {
+  OMS_ASSERT(passes >= 1);
+  assigner.prepare(1);
+
+  RestreamResult result;
+  Timer timer;
+  WorkCounters counters;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      if (pass > 0) {
+        assigner.unassign_node(u, graph.node_weight(u));
+      }
+      const StreamedNode node{u, graph.node_weight(u), graph.neighbors(u),
+                              graph.incident_weights(u)};
+      assigner.assign(node, 0, counters);
+    }
+    // Objective trace: read the live assignment without consuming it.
+    std::vector<BlockId> snapshot(graph.num_nodes());
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      snapshot[u] = assigner.block_of(u);
+    }
+    result.cut_per_pass.push_back(edge_cut(graph, snapshot));
+  }
+  result.elapsed_s = timer.elapsed_s();
+  result.assignment = assigner.take_assignment();
+  return result;
+}
+
+} // namespace oms

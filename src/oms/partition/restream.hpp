@@ -1,0 +1,66 @@
+/// \file restream.hpp
+/// \brief Restreaming one-pass partitioning (Nishimura & Ugander): run the
+///        scoring pass several times over the input; from the second pass on
+///        a node is first removed from its current block and then re-placed.
+///
+/// The paper cites ReLDG/ReFennel as related work and names "remapping" via
+/// restreamed multi-section as a natural extension (Section 3.2); this module
+/// provides the machinery for both.
+#pragma once
+
+#include "oms/graph/csr_graph.hpp"
+#include "oms/partition/fennel.hpp"
+#include "oms/partition/partition_config.hpp"
+#include "oms/stream/one_pass_driver.hpp"
+
+namespace oms {
+
+/// Extension of the one-pass interface for assigners that support
+/// re-placement of already-assigned nodes.
+class RestreamableAssigner : public OnePassAssigner {
+public:
+  /// Remove \p u (weight \p weight) from its current block; the next assign()
+  /// for u re-places it. Only called for nodes already assigned.
+  virtual void unassign_node(NodeId u, NodeWeight weight) = 0;
+};
+
+/// Result of a restreaming run: per-pass objective trace plus the final
+/// assignment (taken from the assigner).
+struct RestreamResult {
+  std::vector<BlockId> assignment;
+  std::vector<Cost> cut_per_pass;
+  double elapsed_s = 0.0;
+};
+
+/// Run \p passes streaming passes of \p assigner over \p graph (sequential;
+/// restreaming is defined on a fixed stream order). Records the edge-cut
+/// after every pass.
+[[nodiscard]] RestreamResult restream(const CsrGraph& graph,
+                                      RestreamableAssigner& assigner, int passes);
+
+/// ReFennel: Fennel wrapped with the restreaming hooks.
+class ReFennelPartitioner final : public RestreamableAssigner {
+public:
+  ReFennelPartitioner(NodeId num_nodes, EdgeIndex num_edges,
+                      NodeWeight total_node_weight, const PartitionConfig& config)
+      : fennel_(num_nodes, num_edges, total_node_weight, config) {}
+
+  void prepare(int num_threads) override { fennel_.prepare(num_threads); }
+  BlockId assign(const StreamedNode& node, int thread_id,
+                 WorkCounters& counters) override {
+    return fennel_.assign(node, thread_id, counters);
+  }
+  [[nodiscard]] BlockId block_of(NodeId u) const override { return fennel_.block_of(u); }
+  [[nodiscard]] BlockId num_blocks() const override { return fennel_.num_blocks(); }
+  [[nodiscard]] std::vector<BlockId> take_assignment() override {
+    return fennel_.take_assignment();
+  }
+  void unassign_node(NodeId u, NodeWeight weight) override {
+    fennel_.unassign(u, weight);
+  }
+
+private:
+  FennelPartitioner fennel_;
+};
+
+} // namespace oms

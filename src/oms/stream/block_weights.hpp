@@ -1,0 +1,61 @@
+/// \file block_weights.hpp
+/// \brief Atomically updated per-block weight array — the only shared mutable
+///        state of the parallel streaming algorithms (paper Section 3.4).
+///
+/// The paper makes the weight increment atomic but deliberately accepts that
+/// a block may be overshot when several threads pick it simultaneously
+/// ("since this is very unlikely, we do not use any synchronization to keep
+/// it from happening"). We reproduce exactly that design: relaxed atomic
+/// adds, plain reads, no compare-and-swap loops.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "oms/types.hpp"
+#include "oms/util/assert.hpp"
+
+namespace oms {
+
+class BlockWeights {
+public:
+  explicit BlockWeights(std::size_t num_blocks)
+      : size_(num_blocks),
+        weights_(std::make_unique<std::atomic<NodeWeight>[]>(num_blocks)) {
+    for (std::size_t i = 0; i < size_; ++i) {
+      weights_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void add(std::size_t block, NodeWeight delta) noexcept {
+    OMS_HEAVY_ASSERT(block < size_);
+    weights_[block].fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] NodeWeight load(std::size_t block) const noexcept {
+    OMS_HEAVY_ASSERT(block < size_);
+    return weights_[block].load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) {
+      weights_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] NodeWeight total() const noexcept {
+    NodeWeight sum = 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      sum += load(i);
+    }
+    return sum;
+  }
+
+private:
+  std::size_t size_;
+  std::unique_ptr<std::atomic<NodeWeight>[]> weights_;
+};
+
+} // namespace oms

@@ -1,0 +1,124 @@
+#include "oms/stream/metis_stream.hpp"
+
+#include <charconv>
+
+#include "oms/util/assert.hpp"
+#include "oms/util/timer.hpp"
+
+namespace oms {
+namespace {
+
+/// Whitespace-separated integer scanner (shared logic with io.cpp, kept local
+/// to preserve the module's independence from the in-memory loader).
+class Tokens {
+public:
+  explicit Tokens(const std::string& line) noexcept
+      : cur_(line.data()), end_(line.data() + line.size()) {}
+
+  bool next(std::int64_t& out) {
+    while (cur_ < end_ && (*cur_ == ' ' || *cur_ == '\t' || *cur_ == '\r')) {
+      ++cur_;
+    }
+    if (cur_ >= end_) {
+      return false;
+    }
+    const auto [ptr, ec] = std::from_chars(cur_, end_, out);
+    OMS_ASSERT_MSG(ec == std::errc{}, "malformed integer in stream");
+    cur_ = ptr;
+    return true;
+  }
+
+private:
+  const char* cur_;
+  const char* end_;
+};
+
+} // namespace
+
+MetisNodeStream::MetisNodeStream(const std::string& path) : in_(path) {
+  OMS_ASSERT_MSG(in_.good(), "cannot open graph stream file");
+  read_header();
+}
+
+void MetisNodeStream::read_header() {
+  while (std::getline(in_, line_)) {
+    if (!line_.empty() && line_.front() != '%') {
+      break;
+    }
+  }
+  Tokens tokens(line_);
+  std::int64_t n = 0;
+  std::int64_t m = 0;
+  std::int64_t fmt = 0;
+  OMS_ASSERT_MSG(tokens.next(n) && tokens.next(m), "malformed METIS header");
+  tokens.next(fmt);
+  OMS_ASSERT_MSG(fmt / 100 == 0, "multi-constraint files unsupported");
+  header_.num_nodes = static_cast<NodeId>(n);
+  header_.num_edges = static_cast<EdgeIndex>(m);
+  header_.has_edge_weights = (fmt % 10) == 1;
+  header_.has_node_weights = (fmt / 10 % 10) == 1;
+  data_start_ = in_.tellg();
+}
+
+bool MetisNodeStream::next(StreamedNode& out) {
+  if (next_id_ >= header_.num_nodes) {
+    return false;
+  }
+  // Missing trailing lines denote isolated nodes.
+  line_.clear();
+  while (std::getline(in_, line_)) {
+    if (line_.empty() || line_.front() != '%') {
+      break;
+    }
+    line_.clear();
+  }
+  neighbor_buffer_.clear();
+  weight_buffer_.clear();
+  NodeWeight node_weight = 1;
+  Tokens tokens(line_);
+  std::int64_t value = 0;
+  if (header_.has_node_weights && tokens.next(value)) {
+    node_weight = value;
+  }
+  while (tokens.next(value)) {
+    OMS_ASSERT_MSG(value >= 1 && value <= header_.num_nodes,
+                   "neighbor id out of range in stream");
+    neighbor_buffer_.push_back(static_cast<NodeId>(value - 1));
+    EdgeWeight w = 1;
+    if (header_.has_edge_weights) {
+      std::int64_t wt = 1;
+      OMS_ASSERT_MSG(tokens.next(wt), "missing edge weight in stream");
+      w = wt;
+    }
+    weight_buffer_.push_back(w);
+  }
+  out = StreamedNode{next_id_, node_weight, neighbor_buffer_, weight_buffer_};
+  ++next_id_;
+  return true;
+}
+
+void MetisNodeStream::rewind() {
+  in_.clear();
+  in_.seekg(data_start_);
+  next_id_ = 0;
+}
+
+StreamResult run_one_pass_from_file(const std::string& path,
+                                    OnePassAssigner& assigner) {
+  MetisNodeStream stream(path);
+  assigner.prepare(1);
+
+  StreamResult result;
+  Timer timer;
+  WorkCounters counters;
+  StreamedNode node{};
+  while (stream.next(node)) {
+    assigner.assign(node, 0, counters);
+  }
+  result.elapsed_s = timer.elapsed_s();
+  result.work = counters;
+  result.assignment = assigner.take_assignment();
+  return result;
+}
+
+} // namespace oms

@@ -1,0 +1,58 @@
+/// \file one_pass_driver.hpp
+/// \brief The streaming loop shared by every one-pass algorithm: iterate the
+///        nodes in stream order and ask an assigner for a permanent block.
+///
+/// Sequential and shared-memory parallel (vertex-centric, static-chunked
+/// OpenMP — paper Section 3.4) drivers are provided. Assigners must be
+/// thread-compatible: assign() may be called concurrently for different
+/// nodes; all shared state they keep must be atomic (see BlockWeights).
+#pragma once
+
+#include <vector>
+
+#include "oms/graph/csr_graph.hpp"
+#include "oms/stream/streamed_node.hpp"
+#include "oms/types.hpp"
+#include "oms/util/work_counters.hpp"
+
+namespace oms {
+
+/// Interface implemented by Hashing, LDG, Fennel and the online recursive
+/// multi-section. One instance handles one pass over one graph.
+class OnePassAssigner {
+public:
+  virtual ~OnePassAssigner() = default;
+
+  /// Called once before the pass with the number of worker threads, so the
+  /// assigner can size per-thread scratch buffers.
+  virtual void prepare(int num_threads) = 0;
+
+  /// Permanently place \p node; thread_id indexes the scratch buffers.
+  /// Returns the chosen block in [0, k).
+  virtual BlockId assign(const StreamedNode& node, int thread_id,
+                         WorkCounters& counters) = 0;
+
+  /// Current assignment of a node (kInvalidBlock if not yet streamed).
+  [[nodiscard]] virtual BlockId block_of(NodeId u) const = 0;
+
+  /// Number of target blocks k.
+  [[nodiscard]] virtual BlockId num_blocks() const = 0;
+
+  /// Release the final assignment vector (assigner is done afterwards).
+  [[nodiscard]] virtual std::vector<BlockId> take_assignment() = 0;
+};
+
+/// Result of a streaming pass.
+struct StreamResult {
+  std::vector<BlockId> assignment;
+  double elapsed_s = 0.0;
+  WorkCounters work;
+};
+
+/// Stream \p graph in node-id order through \p assigner.
+/// \param num_threads 1 = sequential (deterministic); 0 = all hardware
+///        threads; >1 = that many OpenMP threads (vertex-centric chunks).
+[[nodiscard]] StreamResult run_one_pass(const CsrGraph& graph, OnePassAssigner& assigner,
+                                        int num_threads = 1);
+
+} // namespace oms

@@ -1,0 +1,20 @@
+/// \file streamed_node.hpp
+/// \brief The unit of the one-pass streaming model: a node arriving together
+///        with its full adjacency list (Stanton & Kliot's model, which the
+///        paper and all its baselines use).
+#pragma once
+
+#include <span>
+
+#include "oms/types.hpp"
+
+namespace oms {
+
+struct StreamedNode {
+  NodeId id;
+  NodeWeight weight;
+  std::span<const NodeId> neighbors;
+  std::span<const EdgeWeight> edge_weights;
+};
+
+} // namespace oms

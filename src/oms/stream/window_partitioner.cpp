@@ -1,0 +1,99 @@
+#include "oms/stream/window_partitioner.hpp"
+
+#include "oms/util/assert.hpp"
+
+namespace oms {
+
+WindowPartitioner::WindowPartitioner(NodeId num_nodes, NodeWeight total_node_weight,
+                                     const CsrGraph& graph,
+                                     const WindowConfig& config, BlockId k)
+    : graph_(graph),
+      config_(config),
+      k_(k),
+      max_block_weight_(max_block_weight(total_node_weight, k, config.epsilon)),
+      assignment_(num_nodes, kInvalidBlock),
+      weights_(static_cast<std::size_t>(k)),
+      gather_(static_cast<std::size_t>(k), 0) {
+  OMS_ASSERT(k >= 1);
+  OMS_ASSERT(config.window_size >= 1);
+}
+
+void WindowPartitioner::prepare(int num_threads) {
+  OMS_ASSERT_MSG(num_threads == 1, "the sliding window is sequential by nature");
+}
+
+BlockId WindowPartitioner::assign(const StreamedNode& node, int /*thread_id*/,
+                                  WorkCounters& counters) {
+  window_.push_back(node.id);
+  if (window_.size() > config_.window_size) {
+    flush_one(counters);
+  }
+  // The caller-visible return value is the newest *committed* node's block;
+  // the true result lives in the assignment array.
+  return window_.empty() ? assignment_[node.id] : kInvalidBlock;
+}
+
+void WindowPartitioner::flush_one(WorkCounters& counters) {
+  const NodeId u = window_.front();
+  window_.pop_front();
+
+  for (const BlockId b : touched_) {
+    gather_[static_cast<std::size_t>(b)] = 0;
+  }
+  touched_.clear();
+  const auto neigh = graph_.neighbors(u);
+  const auto weights = graph_.incident_weights(u);
+  for (std::size_t i = 0; i < neigh.size(); ++i) {
+    counters.neighbor_visits += 1;
+    const BlockId b = assignment_[neigh[i]];
+    if (b == kInvalidBlock) {
+      continue;
+    }
+    if (gather_[static_cast<std::size_t>(b)] == 0) {
+      touched_.push_back(b);
+    }
+    gather_[static_cast<std::size_t>(b)] += weights[i];
+  }
+
+  BlockId best = kInvalidBlock;
+  double best_score = -1.0;
+  NodeWeight best_weight = 0;
+  for (BlockId b = 0; b < k_; ++b) {
+    counters.score_evaluations += 1;
+    const NodeWeight w = weights_.load(static_cast<std::size_t>(b));
+    if (w + graph_.node_weight(u) > max_block_weight_) {
+      continue;
+    }
+    const double score =
+        static_cast<double>(gather_[static_cast<std::size_t>(b)]) *
+        (1.0 - static_cast<double>(w) / static_cast<double>(max_block_weight_));
+    if (best == kInvalidBlock || score > best_score ||
+        (score == best_score && w < best_weight)) {
+      best = b;
+      best_score = score;
+      best_weight = w;
+    }
+  }
+  if (best == kInvalidBlock) {
+    best = 0;
+    for (BlockId b = 1; b < k_; ++b) {
+      if (weights_.load(static_cast<std::size_t>(b)) <
+          weights_.load(static_cast<std::size_t>(best))) {
+        best = b;
+      }
+    }
+  }
+  weights_.add(static_cast<std::size_t>(best), graph_.node_weight(u));
+  assignment_[u] = best;
+  counters.layers_traversed += 1;
+}
+
+std::vector<BlockId> WindowPartitioner::take_assignment() {
+  WorkCounters drain;
+  while (!window_.empty()) {
+    flush_one(drain);
+  }
+  return std::move(assignment_);
+}
+
+} // namespace oms

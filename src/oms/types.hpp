@@ -1,0 +1,37 @@
+/// \file types.hpp
+/// \brief Fundamental integer types shared by every module of the library.
+///
+/// The sizes follow the scale targeted by the paper (graphs with up to a few
+/// hundred million edges, at most a few tens of thousands of blocks):
+/// 32-bit node and block identifiers, 64-bit edge offsets and weights.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace oms {
+
+/// Identifier of a node (vertex). Nodes are always numbered [0, n).
+using NodeId = std::uint32_t;
+
+/// Index into the CSR edge arrays; 64-bit because m can exceed 2^32.
+using EdgeIndex = std::uint64_t;
+
+/// Identifier of a partition block / processing element. Signed so that
+/// kInvalidBlock (-1) can mark "not yet assigned" streamed nodes.
+using BlockId = std::int32_t;
+
+/// Node weights. Integral per the paper's unit-weight benchmark graphs, but
+/// 64-bit so that block weights (sums over millions of nodes) never overflow.
+using NodeWeight = std::int64_t;
+
+/// Edge weights (also used for communication volumes C_ij).
+using EdgeWeight = std::int64_t;
+
+/// Accumulated objective values: edge-cut and mapping cost J.
+using Cost = std::int64_t;
+
+inline constexpr BlockId kInvalidBlock = -1;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+} // namespace oms

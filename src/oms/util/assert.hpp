@@ -1,0 +1,39 @@
+/// \file assert.hpp
+/// \brief Library assertion macros (CppCoreGuidelines I.6/I.8 style).
+///
+/// OMS_ASSERT is active in every build type: it guards cheap preconditions
+/// whose violation would corrupt results silently (wrong block ids, capacity
+/// overflow, ...). OMS_HEAVY_ASSERT guards O(n)-and-worse invariant scans and
+/// is compiled in only when OMS_HEAVY_ASSERTS is defined (CMake option).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace oms::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "[oms] assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+} // namespace oms::detail
+
+#define OMS_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]] {                                            \
+      ::oms::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));        \
+    }                                                                      \
+  } while (false)
+
+#define OMS_ASSERT(expr) OMS_ASSERT_MSG(expr, "")
+
+#if defined(OMS_HEAVY_ASSERTS)
+#define OMS_HEAVY_ASSERT(expr) OMS_ASSERT(expr)
+#define OMS_HEAVY_ASSERT_MSG(expr, msg) OMS_ASSERT_MSG(expr, msg)
+#else
+#define OMS_HEAVY_ASSERT(expr) ((void)0)
+#define OMS_HEAVY_ASSERT_MSG(expr, msg) ((void)0)
+#endif

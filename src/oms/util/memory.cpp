@@ -1,0 +1,39 @@
+#include "oms/util/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace oms {
+namespace {
+
+std::uint64_t read_status_kb(const char* key) {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) {
+    return 0;
+  }
+  char line[256];
+  std::uint64_t kb = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      // Format: "VmRSS:\t  123456 kB".
+      std::sscanf(line + key_len, "%*[ :\t]%lu", &kb);
+      break;
+    }
+  }
+  std::fclose(file);
+  return kb * 1024;
+}
+
+} // namespace
+
+std::uint64_t current_rss_bytes() { return read_status_kb("VmRSS"); }
+
+std::uint64_t peak_rss_bytes() {
+  // Some sandboxed kernels omit VmHWM from /proc/self/status; fall back to
+  // the current RSS so callers still get a meaningful lower bound.
+  const std::uint64_t high_water = read_status_kb("VmHWM");
+  return high_water != 0 ? high_water : current_rss_bytes();
+}
+
+} // namespace oms

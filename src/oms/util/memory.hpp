@@ -1,0 +1,16 @@
+/// \file memory.hpp
+/// \brief Process memory introspection for the paper's Section 4.1 memory
+///        comparison (VmRSS / VmHWM from /proc on Linux).
+#pragma once
+
+#include <cstdint>
+
+namespace oms {
+
+/// Current resident set size in bytes; 0 if /proc is unavailable.
+[[nodiscard]] std::uint64_t current_rss_bytes();
+
+/// Peak resident set size ("high water mark") in bytes; 0 if unavailable.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+} // namespace oms

@@ -1,0 +1,53 @@
+/// \file parallel.hpp
+/// \brief Thin OpenMP helpers: hardware thread discovery and a chunked
+///        parallel-for matching the paper's vertex-centric parallelization.
+#pragma once
+
+#include <cstddef>
+#include <thread>
+
+#include <omp.h>
+
+#include "oms/util/assert.hpp"
+
+namespace oms {
+
+/// Number of hardware threads (>= 1).
+[[nodiscard]] inline int hardware_threads() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+/// Clamp a requested thread count: 0 means "all hardware threads".
+[[nodiscard]] inline int resolve_threads(int requested) noexcept {
+  if (requested <= 0) {
+    return hardware_threads();
+  }
+  return requested;
+}
+
+/// Run body(begin, end, thread_id) over [0, n) split into contiguous static
+/// chunks, one per thread. Static chunking keeps the streaming order locally
+/// sequential per thread, which is what Section 3.4 of the paper assumes
+/// ("nodes ... concurrently loaded by distinct threads").
+template <typename Body>
+void parallel_chunks(std::size_t n, int num_threads, Body&& body) {
+  const int threads = resolve_threads(num_threads);
+  if (threads == 1 || n == 0) {
+    body(std::size_t{0}, n, 0);
+    return;
+  }
+#pragma omp parallel num_threads(threads)
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    const auto used = static_cast<std::size_t>(omp_get_num_threads());
+    const std::size_t chunk = (n + used - 1) / used;
+    const std::size_t begin = tid * chunk;
+    const std::size_t end = begin + chunk < n ? begin + chunk : n;
+    if (begin < end) {
+      body(begin, end, static_cast<int>(tid));
+    }
+  }
+}
+
+} // namespace oms

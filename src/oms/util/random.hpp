@@ -1,0 +1,101 @@
+/// \file random.hpp
+/// \brief Deterministic pseudo-random utilities: splitmix64 stateless hashing
+///        and a xoshiro256** generator.
+///
+/// All stochastic components of the library (generators, seed-randomized
+/// algorithms, the Hashing partitioner) derive their randomness from these
+/// primitives so that every experiment is reproducible from a single seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "oms/util/assert.hpp"
+
+namespace oms {
+
+/// Stateless 64-bit mixer (splitmix64 finalizer). Used both to seed PRNGs and
+/// as the hash function of the Hashing streaming partitioner.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine a node id and a salt (e.g. a tree-block id) into one hash value.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return splitmix64(a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2)));
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna; small, fast, and good enough for
+/// workload generation. Satisfies UniformRandomBitGenerator.
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x2545f4914f6cdd1dULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : state_) {
+      seed = splitmix64(seed);
+      word = seed;
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Unbiased enough for workload generation
+  /// (Lemire-style multiply-shift reduction).
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept {
+    OMS_ASSERT_MSG(bound > 0, "next_below requires positive bound");
+    __extension__ using u128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<u128>(operator()()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double next_double(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = next_below(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+} // namespace oms

@@ -1,0 +1,56 @@
+#include "oms/util/sequence.hpp"
+
+#include <charconv>
+#include <limits>
+
+#include "oms/util/assert.hpp"
+
+namespace oms {
+
+std::vector<std::int64_t> parse_sequence(std::string_view text) {
+  OMS_ASSERT_MSG(!text.empty(), "parse_sequence: empty string");
+  std::vector<std::int64_t> result;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t next = text.find(':', pos);
+    const std::string_view part =
+        text.substr(pos, next == std::string_view::npos ? std::string_view::npos
+                                                        : next - pos);
+    OMS_ASSERT_MSG(!part.empty(), "parse_sequence: empty component");
+    std::int64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(part.data(), part.data() + part.size(), value);
+    OMS_ASSERT_MSG(ec == std::errc{} && ptr == part.data() + part.size(),
+                   "parse_sequence: component is not an integer");
+    OMS_ASSERT_MSG(value >= 1, "parse_sequence: components must be >= 1");
+    result.push_back(value);
+    if (next == std::string_view::npos) {
+      break;
+    }
+    pos = next + 1;
+  }
+  return result;
+}
+
+std::string format_sequence(const std::vector<std::int64_t>& seq) {
+  std::string out;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) {
+      out += ':';
+    }
+    out += std::to_string(seq[i]);
+  }
+  return out;
+}
+
+std::int64_t sequence_product(const std::vector<std::int64_t>& seq) {
+  std::int64_t product = 1;
+  for (const std::int64_t a : seq) {
+    OMS_ASSERT_MSG(a > 0, "sequence_product: factors must be positive");
+    OMS_ASSERT_MSG(product <= std::numeric_limits<std::int64_t>::max() / a,
+                   "sequence_product: overflow");
+    product *= a;
+  }
+  return product;
+}
+
+} // namespace oms

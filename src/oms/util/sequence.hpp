@@ -1,0 +1,23 @@
+/// \file sequence.hpp
+/// \brief Parsing and formatting of colon-separated sequences such as the
+///        hierarchy string "4:16:2" and the distance string "1:10:100".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oms {
+
+/// Parse "a1:a2:...:al" into its integer factors. Aborts on malformed input
+/// (empty parts, non-digits, zero values) — these are programmer/config errors.
+[[nodiscard]] std::vector<std::int64_t> parse_sequence(std::string_view text);
+
+/// Format a sequence back into "a1:a2:...:al" form.
+[[nodiscard]] std::string format_sequence(const std::vector<std::int64_t>& seq);
+
+/// Product of all entries, checked against overflow.
+[[nodiscard]] std::int64_t sequence_product(const std::vector<std::int64_t>& seq);
+
+} // namespace oms

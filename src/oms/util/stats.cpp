@@ -1,0 +1,119 @@
+#include "oms/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace oms {
+
+double arithmetic_mean(std::span<const double> values) noexcept {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double geometric_mean(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (const double v : values) {
+    OMS_ASSERT_MSG(v > 0.0, "geometric_mean requires strictly positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double shifted_geometric_mean(std::span<const double> values, double shift) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  OMS_ASSERT(shift > 0.0);
+  double log_sum = 0.0;
+  for (const double v : values) {
+    OMS_ASSERT_MSG(v >= 0.0, "shifted_geometric_mean requires non-negative values");
+    log_sum += std::log(v + shift);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size())) - shift;
+}
+
+double improvement_percent(double sigma_b, double sigma_a) {
+  OMS_ASSERT_MSG(sigma_a > 0.0, "improvement_percent: reference value must be positive");
+  return (sigma_b / sigma_a - 1.0) * 100.0;
+}
+
+double speedup(double time_b, double time_a) {
+  OMS_ASSERT_MSG(time_a > 0.0, "speedup: time of A must be positive");
+  return time_b / time_a;
+}
+
+void PerformanceProfile::add(const std::string& instance, const std::string& algorithm,
+                             double value) {
+  OMS_ASSERT_MSG(value >= 0.0, "performance profile values must be non-negative");
+  auto& per_algo = instances_[instance];
+  per_algo[algorithm] = value;
+  if (std::find(algorithms_.begin(), algorithms_.end(), algorithm) ==
+      algorithms_.end()) {
+    algorithms_.push_back(algorithm);
+  }
+}
+
+double PerformanceProfile::fraction_within(const std::string& algorithm,
+                                           double tau) const {
+  OMS_ASSERT(tau >= 1.0);
+  if (instances_.empty()) {
+    return 0.0;
+  }
+  std::size_t hits = 0;
+  for (const auto& [instance, per_algo] : instances_) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& [algo, value] : per_algo) {
+      best = std::min(best, value);
+    }
+    const auto it = per_algo.find(algorithm);
+    if (it == per_algo.end()) {
+      continue; // missing result: counts as failure for this instance
+    }
+    // best == 0 edge case: only algorithms that also achieve 0 are "within".
+    const bool within = (best == 0.0) ? (it->second == 0.0) : (it->second <= tau * best);
+    if (within) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(instances_.size());
+}
+
+std::vector<std::vector<double>>
+PerformanceProfile::table(std::span<const double> taus) const {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(taus.size());
+  for (const double tau : taus) {
+    std::vector<double> row;
+    row.reserve(algorithms_.size() + 1);
+    row.push_back(tau);
+    for (const auto& algo : algorithms_) {
+      row.push_back(fraction_within(algo, tau));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++count_;
+}
+
+} // namespace oms

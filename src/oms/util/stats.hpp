@@ -1,0 +1,87 @@
+/// \file stats.hpp
+/// \brief Statistical aggregation used throughout the paper's evaluation:
+///        arithmetic / geometric means, "improvement over" percentages, and
+///        performance profiles (Dolan-More style, as plotted in Fig. 2d-f).
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "oms/util/assert.hpp"
+
+namespace oms {
+
+/// Arithmetic mean; empty input yields 0.
+[[nodiscard]] double arithmetic_mean(std::span<const double> values) noexcept;
+
+/// Geometric mean of strictly positive values. The paper uses it when
+/// averaging across instances "to give every instance the same influence".
+/// Values must be > 0; violations abort (they indicate a broken experiment).
+[[nodiscard]] double geometric_mean(std::span<const double> values);
+
+/// Geometric mean that tolerates zeros by shifting: gm(v + shift) - shift.
+/// Used for objectives that can legitimately be 0 (e.g. the edge-cut of a
+/// disconnected instance with k equal to its component count).
+[[nodiscard]] double shifted_geometric_mean(std::span<const double> values,
+                                            double shift = 1.0);
+
+/// The paper's improvement metric: (sigma_B / sigma_A - 1) * 100%. A positive
+/// result means algorithm A improves on B (A's objective is smaller).
+[[nodiscard]] double improvement_percent(double sigma_b, double sigma_a);
+
+/// Speedup of A over B given running times: time_B / time_A.
+[[nodiscard]] double speedup(double time_b, double time_a);
+
+/// Performance profile over a set of instances (Fig. 2d-f). For every
+/// instance each algorithm reports a value (running time or objective;
+/// smaller is better). The profile of algorithm A at factor tau is the
+/// fraction of instances on which A's value is within tau times the best
+/// value any algorithm achieved on that instance.
+class PerformanceProfile {
+public:
+  /// Record the value achieved by \p algorithm on \p instance.
+  /// Values must be non-negative; zero is allowed (perfect score).
+  void add(const std::string& instance, const std::string& algorithm, double value);
+
+  /// Fraction of instances on which \p algorithm is within \p tau of the best.
+  /// Instances where the algorithm reported nothing count as "not within".
+  [[nodiscard]] double fraction_within(const std::string& algorithm, double tau) const;
+
+  /// All algorithm names seen so far, in first-seen order.
+  [[nodiscard]] const std::vector<std::string>& algorithms() const noexcept {
+    return algorithms_;
+  }
+
+  [[nodiscard]] std::size_t num_instances() const noexcept { return instances_.size(); }
+
+  /// Rows of (tau, fraction per algorithm) for the given tau values;
+  /// convenient for table emission by the bench harness.
+  [[nodiscard]] std::vector<std::vector<double>>
+  table(std::span<const double> taus) const;
+
+private:
+  // instance -> (algorithm -> value)
+  std::map<std::string, std::map<std::string, double>> instances_;
+  std::vector<std::string> algorithms_;
+};
+
+/// Online accumulator for min/max/mean; used by tests and reporters.
+class RunningStats {
+public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+} // namespace oms

@@ -1,0 +1,66 @@
+#include "oms/util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "oms/util/assert.hpp"
+
+namespace oms {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  OMS_ASSERT_MSG(!headers_.empty(), "table requires at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  OMS_ASSERT_MSG(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::setw(static_cast<int>(widths[c])) << row[c];
+      out << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit_row(headers_);
+  std::size_t rule_width = 2 * (headers_.size() - 1);
+  for (const std::size_t w : widths) {
+    rule_width += w;
+  }
+  out << std::string(rule_width, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+}
+
+std::string TablePrinter::cell(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+std::string TablePrinter::cell(std::int64_t value) { return std::to_string(value); }
+
+std::string TablePrinter::cell(std::uint64_t value) { return std::to_string(value); }
+
+std::string TablePrinter::percent_cell(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::showpos << std::fixed << std::setprecision(precision) << value << "%";
+  return ss.str();
+}
+
+} // namespace oms

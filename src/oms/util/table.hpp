@@ -1,0 +1,38 @@
+/// \file table.hpp
+/// \brief Fixed-width console table printer used by the benchmark harness to
+///        emit the paper's tables and figure series in a readable form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace oms {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+/// Numeric cells are produced via the cell() helpers so formatting is uniform.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append a full row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule and 2-space column gaps.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const noexcept { return headers_.size(); }
+
+  /// Format helpers with fixed precision (uniform across all benches).
+  [[nodiscard]] static std::string cell(double value, int precision = 2);
+  [[nodiscard]] static std::string cell(std::int64_t value);
+  [[nodiscard]] static std::string cell(std::uint64_t value);
+  [[nodiscard]] static std::string percent_cell(double value, int precision = 1);
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace oms

@@ -1,0 +1,43 @@
+/// \file timer.hpp
+/// \brief Wall-clock timing helpers used by the experiment harness.
+#pragma once
+
+#include <chrono>
+
+namespace oms {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class Timer {
+public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last restart().
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept { return elapsed_s() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates the lifetime of the scope into a caller-owned counter;
+/// convenient for attributing time to phases inside larger runs.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(double& accumulator_s) noexcept
+      : accumulator_s_(accumulator_s) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { accumulator_s_ += timer_.elapsed_s(); }
+
+private:
+  double& accumulator_s_;
+  Timer timer_;
+};
+
+} // namespace oms

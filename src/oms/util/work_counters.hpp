@@ -1,0 +1,35 @@
+/// \file work_counters.hpp
+/// \brief Instrumentation counters used to verify the paper's complexity
+///        claims (Theorems 2-4) empirically: the number of block-score
+///        evaluations and neighbor visits performed by a streaming run.
+#pragma once
+
+#include <cstdint>
+
+namespace oms {
+
+/// Plain counters; each worker thread owns one instance and the driver merges
+/// them at the end of a run, so no atomics are needed on the hot path.
+struct WorkCounters {
+  /// Score evaluations of candidate (sub-)blocks; Theorem 2 predicts
+  /// ~ n * sum_i a_i for OMS and ~ n * k for flat Fennel/LDG.
+  std::uint64_t score_evaluations = 0;
+  /// Neighbor inspections; Theorem 2 predicts ~ m * l for OMS and ~ m for
+  /// flat one-pass algorithms (each endpoint visited once).
+  std::uint64_t neighbor_visits = 0;
+  /// Tree layers traversed over all nodes (equals n for flat algorithms).
+  std::uint64_t layers_traversed = 0;
+
+  WorkCounters& operator+=(const WorkCounters& other) noexcept {
+    score_evaluations += other.score_evaluations;
+    neighbor_visits += other.neighbor_visits;
+    layers_traversed += other.layers_traversed;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return score_evaluations + neighbor_visits + layers_traversed;
+  }
+};
+
+} // namespace oms

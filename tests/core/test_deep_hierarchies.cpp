@@ -1,0 +1,87 @@
+/// Deep and degenerate hierarchy coverage: the paper's complexity results
+/// (Corollary 1) are about hierarchies with many levels — these tests push
+/// the multi-section through deep binary hierarchies, mixed extents with
+/// ones, and both orderings of wide/narrow levels.
+#include <gtest/gtest.h>
+
+#include "oms/core/online_multisection.hpp"
+#include "oms/graph/generators.hpp"
+#include "oms/partition/metrics.hpp"
+#include "oms/stream/one_pass_driver.hpp"
+
+namespace oms {
+namespace {
+
+std::vector<BlockId> run_oms(const CsrGraph& g, const SystemHierarchy& topo) {
+  OmsConfig config;
+  OnlineMultisection oms(g.num_nodes(), g.num_edges(), g.total_node_weight(), topo,
+                         config);
+  return run_one_pass(g, oms, 1).assignment;
+}
+
+TEST(DeepHierarchy, BinaryTenLevels) {
+  // 2^10 = 1024 PEs via a 10-level binary hierarchy (Corollary 1's setting).
+  const CsrGraph g = gen::barabasi_albert(30000, 4, 3);
+  const std::vector<std::int64_t> extents(10, 2);
+  const std::vector<std::int64_t> distances{1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+  const SystemHierarchy topo(extents, distances);
+  EXPECT_EQ(topo.num_pes(), 1024);
+
+  OmsConfig config;
+  OnlineMultisection oms(g.num_nodes(), g.num_edges(), g.total_node_weight(), topo,
+                         config);
+  EXPECT_EQ(oms.tree().height(), 10);
+  // Lemma 1: sum over layers = 2 + 4 + ... + 1024 = 2046 <= 2k.
+  EXPECT_EQ(oms.tree().num_non_root_blocks(), 2046u);
+
+  const StreamResult r = run_one_pass(g, oms, 1);
+  verify_partition(g, r.assignment, 1024);
+  EXPECT_TRUE(is_balanced(g, r.assignment, 1024, config.epsilon));
+  // Theorem 2 work shape: n * sum(a_i) = n * 20 score evaluations at most.
+  EXPECT_LE(r.work.score_evaluations, static_cast<std::uint64_t>(g.num_nodes()) * 20);
+}
+
+TEST(DeepHierarchy, OnesInterleavedAreTransparent) {
+  // S = 1:4:1:4:1 must behave exactly like S = 4:4 (pass-through levels).
+  const CsrGraph g = gen::random_geometric(4000, 9);
+  const SystemHierarchy with_ones({1, 4, 1, 4, 1}, {1, 2, 3, 4, 5});
+  const SystemHierarchy plain({4, 4}, {2, 4});
+  EXPECT_EQ(with_ones.num_pes(), plain.num_pes());
+  EXPECT_EQ(run_oms(g, with_ones), run_oms(g, plain));
+}
+
+TEST(DeepHierarchy, WideVsNarrowOrderingsDiffer) {
+  // 4:16 vs 16:4 cover the same k = 64 but different module structure; both
+  // must be valid/balanced, and generally produce different mappings.
+  const CsrGraph g = gen::random_geometric(5000, 21);
+  const SystemHierarchy wide_inner({16, 4}, {1, 10});
+  const SystemHierarchy narrow_inner({4, 16}, {1, 10});
+  const auto a = run_oms(g, wide_inner);
+  const auto b = run_oms(g, narrow_inner);
+  verify_partition(g, a, 64);
+  verify_partition(g, b, 64);
+  EXPECT_TRUE(is_balanced(g, a, 64, 0.03));
+  EXPECT_TRUE(is_balanced(g, b, 64, 0.03));
+  EXPECT_NE(a, b);
+}
+
+TEST(DeepHierarchy, MixedExtentsMatchK) {
+  const CsrGraph g = gen::barabasi_albert(6000, 3, 5);
+  for (const auto& extents :
+       {std::vector<std::int64_t>{2, 3, 4}, std::vector<std::int64_t>{5, 2, 2},
+        std::vector<std::int64_t>{3, 3, 3, 3}}) {
+    std::vector<std::int64_t> distances(extents.size());
+    for (std::size_t i = 0; i < distances.size(); ++i) {
+      distances[i] = static_cast<std::int64_t>(i) + 1;
+    }
+    const SystemHierarchy topo(extents, distances);
+    const auto assignment = run_oms(g, topo);
+    verify_partition(g, assignment, topo.num_pes());
+    EXPECT_TRUE(is_balanced(g, assignment, topo.num_pes(), 0.03))
+        << topo.to_string();
+    EXPECT_EQ(num_non_empty_blocks(assignment, topo.num_pes()), topo.num_pes());
+  }
+}
+
+} // namespace
+} // namespace oms

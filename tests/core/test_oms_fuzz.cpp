@@ -1,0 +1,72 @@
+/// Randomized invariant sweep ("fuzz light"): random graphs x random valid
+/// configurations, all invariants must hold on every draw. Seeds are fixed,
+/// so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include "oms/core/online_multisection.hpp"
+#include "oms/graph/generators.hpp"
+#include "oms/partition/metrics.hpp"
+#include "oms/partition/partition_config.hpp"
+#include "oms/stream/one_pass_driver.hpp"
+#include "oms/util/random.hpp"
+
+namespace oms {
+namespace {
+
+class OmsFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(OmsFuzz, InvariantsHoldOnRandomConfigurations) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+
+  // Random graph from a random family.
+  CsrGraph graph = [&]() -> CsrGraph {
+    const auto n = static_cast<NodeId>(500 + rng.next_below(3000));
+    switch (rng.next_below(4)) {
+      case 0: return gen::erdos_renyi(n, n * 4, rng());
+      case 1: return gen::barabasi_albert(n, 3, rng());
+      case 2: return gen::random_geometric(n, rng());
+      default: return gen::watts_strogatz(n, 4, 0.2, rng());
+    }
+  }();
+
+  OmsConfig config;
+  config.epsilon = 0.02 + rng.next_double() * 0.2;
+  config.seed = rng();
+  config.base = static_cast<int>(2 + rng.next_below(7));
+  config.scorer = rng.next_bool(0.5) ? ScorerKind::kFennel : ScorerKind::kLdg;
+  config.adapted_alpha = rng.next_bool(0.5);
+  if (rng.next_bool(0.3)) {
+    config.quality_layers = static_cast<int>(rng.next_below(4));
+  }
+  const auto k = static_cast<BlockId>(2 + rng.next_below(300));
+  const int threads = rng.next_bool(0.5) ? 1 : static_cast<int>(2 + rng.next_below(7));
+
+  OnlineMultisection oms(graph.num_nodes(), graph.num_edges(),
+                         graph.total_node_weight(), k, config);
+  // Structural tree invariants hold for every random (k, base) draw.
+  const auto& tree = oms.tree();
+  EXPECT_EQ(tree.num_final_blocks(), k);
+  EXPECT_LE(tree.num_non_root_blocks(), 2 * static_cast<std::size_t>(k));
+
+  const StreamResult r = run_one_pass(graph, oms, threads);
+  verify_partition(graph, r.assignment, k);
+  // Sequential runs must meet epsilon exactly. Parallel runs can overshoot a
+  // block only while several threads pass the capacity check concurrently
+  // (paper Section 3.4 accepts this), which is bounded by one extra node per
+  // other thread: weight <= Lmax + (threads - 1) * max node weight.
+  const NodeWeight lmax =
+      max_block_weight(graph.total_node_weight(), k, config.epsilon);
+  const NodeWeight allowed = lmax + (threads - 1); // unit node weights here
+  for (const NodeWeight w : block_weights_of(graph, r.assignment, k)) {
+    EXPECT_LE(w, allowed) << "k=" << k << " base=" << config.base
+                          << " eps=" << config.epsilon << " threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Draws, OmsFuzz, ::testing::Range(0, 24),
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return "draw" + std::to_string(param_info.param);
+                         });
+
+} // namespace
+} // namespace oms

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "oms/core/online_multisection.hpp"
+#include "oms/graph/generators.hpp"
+#include "oms/partition/metrics.hpp"
+#include "oms/stream/one_pass_driver.hpp"
+
+namespace oms {
+namespace {
+
+/// Parallel streaming is non-deterministic by design (Section 3.4); these
+/// tests check the invariants that must survive any interleaving.
+class OmsParallel : public ::testing::TestWithParam<int> {};
+
+TEST_P(OmsParallel, MappingModeInvariants) {
+  const int threads = GetParam();
+  const CsrGraph g = gen::barabasi_albert(20000, 5, 3);
+  const SystemHierarchy topo = SystemHierarchy::parse("4:16:2", "1:10:100");
+  OmsConfig config;
+  OnlineMultisection oms(g.num_nodes(), g.num_edges(), g.total_node_weight(), topo,
+                         config);
+  const StreamResult r = run_one_pass(g, oms, threads);
+
+  verify_partition(g, r.assignment, topo.num_pes());
+  // The paper accepts rare transient overshoot under parallelism; allow a
+  // small slack above the sequential 3% bound.
+  EXPECT_TRUE(is_balanced(g, r.assignment, topo.num_pes(), 0.05));
+  // Work totals are interleaving-independent.
+  EXPECT_EQ(r.work.layers_traversed,
+            static_cast<std::uint64_t>(g.num_nodes()) * 3);
+}
+
+TEST_P(OmsParallel, PartitioningModeInvariants) {
+  const int threads = GetParam();
+  const CsrGraph g = gen::grid_2d(120, 120);
+  OmsConfig config;
+  OnlineMultisection oms(g.num_nodes(), g.num_edges(), g.total_node_weight(),
+                         BlockId{64}, config);
+  const StreamResult r = run_one_pass(g, oms, threads);
+  verify_partition(g, r.assignment, 64);
+  EXPECT_TRUE(is_balanced(g, r.assignment, 64, 0.05));
+}
+
+TEST_P(OmsParallel, TreeWeightTotalsMatchNodeWeight) {
+  const int threads = GetParam();
+  const CsrGraph g = gen::random_geometric(15000, 5);
+  OmsConfig config;
+  OnlineMultisection oms(g.num_nodes(), g.num_edges(), g.total_node_weight(),
+                         BlockId{32}, config);
+  (void)run_one_pass(g, oms, threads);
+  // Every depth-1 layer must have absorbed the full node weight exactly —
+  // atomic adds make the sum lossless regardless of scheduling.
+  const auto& tree = oms.tree();
+  NodeWeight top_layer_sum = 0;
+  for (std::int32_t c = 0; c < tree.root().num_children; ++c) {
+    top_layer_sum += oms.tree_block_weight(
+        static_cast<std::size_t>(tree.root().first_child + c));
+  }
+  EXPECT_EQ(top_layer_sum, g.total_node_weight());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, OmsParallel, ::testing::Values(1, 2, 4, 8),
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return "t" + std::to_string(param_info.param);
+                         });
+
+} // namespace
+} // namespace oms

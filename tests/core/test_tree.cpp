@@ -1,0 +1,218 @@
+#include "oms/core/multisection_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace oms {
+namespace {
+
+/// Collect leaves left-to-right and verify they partition [0, k).
+void expect_leaves_partition_range(const MultisectionTree& tree) {
+  std::vector<bool> covered(static_cast<std::size_t>(tree.num_final_blocks()), false);
+  for (std::size_t id = 0; id < tree.num_blocks(); ++id) {
+    const auto& block = tree.block(id);
+    EXPECT_LE(block.leaf_begin, block.leaf_end);
+    if (block.is_leaf()) {
+      ASSERT_EQ(block.num_leaves(), 1);
+      EXPECT_FALSE(covered[static_cast<std::size_t>(block.leaf_begin)]);
+      covered[static_cast<std::size_t>(block.leaf_begin)] = true;
+    }
+  }
+  for (const bool c : covered) {
+    EXPECT_TRUE(c);
+  }
+}
+
+/// Children ranges must tile the parent range exactly.
+void expect_children_tile_parents(const MultisectionTree& tree) {
+  for (std::size_t id = 0; id < tree.num_blocks(); ++id) {
+    const auto& block = tree.block(id);
+    if (block.is_leaf()) {
+      continue;
+    }
+    BlockId cursor = block.leaf_begin;
+    for (std::int32_t c = 0; c < block.num_children; ++c) {
+      const auto& child = tree.block(static_cast<std::size_t>(block.first_child + c));
+      EXPECT_EQ(child.parent, static_cast<std::int32_t>(id));
+      EXPECT_EQ(child.leaf_begin, cursor);
+      EXPECT_EQ(child.depth, block.depth + 1);
+      cursor = child.leaf_end;
+    }
+    EXPECT_EQ(cursor, block.leaf_end);
+  }
+}
+
+TEST(RegularTree, PaperHierarchyShape) {
+  // S = 4:16:2 top-down is (2, 16, 4): root -> 2 -> 32 -> 128 leaves.
+  const std::array<std::int64_t, 3> extents{2, 16, 4};
+  const MultisectionTree tree = MultisectionTree::regular(extents);
+  EXPECT_EQ(tree.num_final_blocks(), 128);
+  EXPECT_EQ(tree.height(), 3);
+  // 1 root + 2 + 32 + 128.
+  EXPECT_EQ(tree.num_blocks(), 1u + 2u + 32u + 128u);
+  expect_leaves_partition_range(tree);
+  expect_children_tile_parents(tree);
+}
+
+TEST(RegularTree, Lemma1BlockBound) {
+  // With all extents >= 2, non-root blocks number at most 2k.
+  const std::vector<std::vector<std::int64_t>> hierarchies = {
+      {2, 2, 2, 2}, {4, 4, 4}, {2, 16, 4}, {8, 8}, {3, 3, 3, 3}, {2, 3, 4, 5}};
+  for (const auto& extents : hierarchies) {
+    const MultisectionTree tree = MultisectionTree::regular(extents);
+    const auto k = static_cast<std::size_t>(tree.num_final_blocks());
+    EXPECT_LE(tree.num_non_root_blocks(), 2 * k)
+        << "extents size " << extents.size();
+  }
+}
+
+TEST(RegularTree, ExtentOneCreatesPassThroughLayer) {
+  const std::array<std::int64_t, 3> extents{1, 16, 4}; // S = 4:16:1
+  const MultisectionTree tree = MultisectionTree::regular(extents);
+  EXPECT_EQ(tree.num_final_blocks(), 64);
+  EXPECT_EQ(tree.root().num_children, 1);
+  expect_children_tile_parents(tree);
+}
+
+TEST(RegularTree, SingleBlockDegenerate) {
+  const std::array<std::int64_t, 1> extents{1};
+  const MultisectionTree tree = MultisectionTree::regular(extents);
+  EXPECT_EQ(tree.num_final_blocks(), 1);
+  // A 1-leaf root is itself a leaf: no descent needed at all.
+  EXPECT_TRUE(tree.root().is_leaf());
+}
+
+TEST(BSection, PaperExampleKFive) {
+  // Section 3.3: k = 5, b = 2 -> the first subproblem's blocks cover 3 and 2
+  // final blocks with capacities 3*Lmax and 2*Lmax.
+  MultisectionTree tree = MultisectionTree::b_section(5, 2);
+  ASSERT_EQ(tree.root().num_children, 2);
+  const auto& left = tree.block(1);
+  const auto& right = tree.block(2);
+  EXPECT_EQ(left.num_leaves(), 3);
+  EXPECT_EQ(right.num_leaves(), 2);
+
+  tree.finalize(/*lmax=*/100, /*alpha_global=*/1.0, /*adapted=*/true);
+  EXPECT_EQ(tree.block(1).capacity, 300);
+  EXPECT_EQ(tree.block(2).capacity, 200);
+  // alpha scales with 1/sqrt(t).
+  EXPECT_NEAR(tree.block(1).alpha, 1.0 / std::sqrt(3.0), 1e-12);
+  EXPECT_NEAR(tree.block(2).alpha, 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(BSection, PowerOfBaseGivesUniformTree) {
+  const MultisectionTree tree = MultisectionTree::b_section(64, 4);
+  EXPECT_EQ(tree.height(), 3); // 4^3 = 64
+  EXPECT_EQ(tree.num_blocks(), 1u + 4u + 16u + 64u);
+  expect_leaves_partition_range(tree);
+  expect_children_tile_parents(tree);
+}
+
+TEST(BSection, ArbitraryKSweepInvariants) {
+  for (const int base : {2, 3, 4, 8}) {
+    for (const BlockId k : {1, 2, 3, 5, 7, 12, 13, 64, 100, 127, 128, 129, 1000}) {
+      const MultisectionTree tree = MultisectionTree::b_section(k, base);
+      EXPECT_EQ(tree.num_final_blocks(), k);
+      expect_leaves_partition_range(tree);
+      expect_children_tile_parents(tree);
+      // Height bound of Theorem 4: ceil(log_b k) (+1 slack for uneven splits).
+      const double logbk =
+          std::log(static_cast<double>(k)) / std::log(static_cast<double>(base));
+      EXPECT_LE(tree.height(), static_cast<std::int32_t>(std::ceil(logbk)) + 1)
+          << "k=" << k << " base=" << base;
+      // O(k) space (Lemma 1 analogue for b-sections).
+      EXPECT_LE(tree.num_non_root_blocks(), 2 * static_cast<std::size_t>(std::max(k, 1)))
+          << "k=" << k << " base=" << base;
+    }
+  }
+}
+
+TEST(BSection, MidpointSplitMatchesAlgorithm2) {
+  // BuildHierarchy splits {kL..kR} at floor((kL+kR)/2); with 0-based ranges
+  // that is "larger half first". Check a couple of hand-computed cases.
+  const MultisectionTree t7 = MultisectionTree::b_section(7, 2);
+  EXPECT_EQ(t7.block(1).num_leaves(), 4); // {0..3}
+  EXPECT_EQ(t7.block(2).num_leaves(), 3); // {4..6}
+
+  const MultisectionTree t3 = MultisectionTree::b_section(3, 2);
+  EXPECT_EQ(t3.block(1).num_leaves(), 2);
+  EXPECT_EQ(t3.block(2).num_leaves(), 1);
+}
+
+TEST(ChildIndexOfLeaf, MatchesLinearScanEverywhere) {
+  for (const int base : {2, 3, 4, 5}) {
+    for (const BlockId k : {5, 17, 64, 100}) {
+      const MultisectionTree tree = MultisectionTree::b_section(k, base);
+      for (std::size_t id = 0; id < tree.num_blocks(); ++id) {
+        const auto& parent = tree.block(id);
+        if (parent.is_leaf()) {
+          continue;
+        }
+        for (BlockId leaf = parent.leaf_begin; leaf < parent.leaf_end; ++leaf) {
+          // Reference: scan children ranges.
+          std::int32_t expected = -1;
+          for (std::int32_t c = 0; c < parent.num_children; ++c) {
+            const auto& child =
+                tree.block(static_cast<std::size_t>(parent.first_child + c));
+            if (leaf >= child.leaf_begin && leaf < child.leaf_end) {
+              expected = c;
+              break;
+            }
+          }
+          EXPECT_EQ(tree.child_index_of_leaf(parent, leaf), expected)
+              << "k=" << k << " base=" << base << " leaf=" << leaf;
+        }
+      }
+    }
+  }
+}
+
+TEST(LeafBlockId, DescendsToTheRightLeaf) {
+  const MultisectionTree tree = MultisectionTree::b_section(37, 3);
+  for (BlockId leaf = 0; leaf < 37; ++leaf) {
+    const auto id = tree.leaf_block_id(leaf);
+    EXPECT_TRUE(tree.block(id).is_leaf());
+    EXPECT_EQ(tree.block(id).leaf_begin, leaf);
+  }
+}
+
+TEST(Finalize, VanillaAlphaIsUniform) {
+  MultisectionTree tree = MultisectionTree::b_section(8, 2);
+  tree.finalize(10, 0.7, /*adapted=*/false);
+  for (std::size_t id = 0; id < tree.num_blocks(); ++id) {
+    EXPECT_DOUBLE_EQ(tree.block(id).alpha, 0.7);
+  }
+}
+
+TEST(Finalize, AdaptedAlphaMatchesLayerFormula) {
+  // For a regular hierarchy, alpha_i = alpha / sqrt(prod_{r<i} a_r); with
+  // t = number of leaves below the block, that is alpha / sqrt(t).
+  const std::array<std::int64_t, 3> extents{2, 4, 8}; // k = 64
+  MultisectionTree tree = MultisectionTree::regular(extents);
+  tree.finalize(1, 2.0, /*adapted=*/true);
+  for (std::size_t id = 0; id < tree.num_blocks(); ++id) {
+    const auto& block = tree.block(id);
+    EXPECT_NEAR(block.alpha,
+                2.0 / std::sqrt(static_cast<double>(block.num_leaves())), 1e-12);
+  }
+}
+
+TEST(RegularTreeDeath, IndivisibleHierarchyRejected) {
+  const std::array<std::int64_t, 2> bad{3, 2};
+  // This *is* divisible (k=6, layers 3 then 2); craft a truly bad case by
+  // asking for depth beyond the hierarchy: impossible through the public
+  // API, so instead check extents must be >= 1.
+  const std::array<std::int64_t, 2> zero{0, 2};
+  EXPECT_DEATH((void)MultisectionTree::regular(zero), ">= 1");
+  (void)bad;
+}
+
+TEST(BSectionDeath, BaseOneRejected) {
+  EXPECT_DEATH((void)MultisectionTree::b_section(8, 1), "base >= 2");
+}
+
+} // namespace
+} // namespace oms

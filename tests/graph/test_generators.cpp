@@ -1,0 +1,178 @@
+#include "oms/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+namespace oms {
+namespace {
+
+/// Number of nodes reachable from 0.
+NodeId reachable_from_zero(const CsrGraph& g) {
+  std::vector<bool> visited(g.num_nodes(), false);
+  std::queue<NodeId> queue;
+  queue.push(0);
+  visited[0] = true;
+  NodeId count = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    ++count;
+    for (const NodeId v : g.neighbors(u)) {
+      if (!visited[v]) {
+        visited[v] = true;
+        queue.push(v);
+      }
+    }
+  }
+  return count;
+}
+
+TEST(Grid2d, EdgeCountFormula) {
+  const CsrGraph g = gen::grid_2d(5, 7);
+  EXPECT_EQ(g.num_nodes(), 35u);
+  // (rows-1)*cols vertical + rows*(cols-1) horizontal.
+  EXPECT_EQ(g.num_edges(), 4u * 7u + 5u * 6u);
+  g.validate();
+}
+
+TEST(Grid2d, PeriodicWrapsBothAxes) {
+  const CsrGraph g = gen::grid_2d(4, 4, /*periodic=*/true);
+  // Torus: every node has degree 4.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(g.degree(u), 4u);
+  }
+}
+
+TEST(Grid2d, IsConnected) {
+  const CsrGraph g = gen::grid_2d(9, 11);
+  EXPECT_EQ(reachable_from_zero(g), g.num_nodes());
+}
+
+TEST(Grid3d, EdgeCountFormula) {
+  const CsrGraph g = gen::grid_3d(3, 4, 5);
+  EXPECT_EQ(g.num_nodes(), 60u);
+  EXPECT_EQ(g.num_edges(), 2u * 4 * 5 + 3u * 3 * 5 + 3u * 4 * 4);
+  g.validate();
+}
+
+TEST(Grid3d, InteriorDegreeIsSix) {
+  const CsrGraph g = gen::grid_3d(5, 5, 5);
+  EXPECT_EQ(g.max_degree(), 6u);
+}
+
+TEST(RandomGeometric, Deterministic) {
+  const CsrGraph a = gen::random_geometric(2000, 42);
+  const CsrGraph b = gen::random_geometric(2000, 42);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  const CsrGraph c = gen::random_geometric(2000, 43);
+  EXPECT_NE(a.num_edges(), c.num_edges());
+}
+
+TEST(RandomGeometric, PaperRadiusYieldsConnectedishGraph) {
+  // The 0.55*sqrt(ln n / n) radius is chosen to be just above the
+  // connectivity threshold; the giant component should dominate.
+  const CsrGraph g = gen::random_geometric(4000, 7);
+  EXPECT_GT(reachable_from_zero(g), g.num_nodes() * 9 / 10);
+}
+
+TEST(RandomGeometric, ExplicitRadiusControlsDensity) {
+  const CsrGraph sparse = gen::random_geometric(2000, 1, 0.02);
+  const CsrGraph dense = gen::random_geometric(2000, 1, 0.06);
+  EXPECT_GT(dense.num_edges(), sparse.num_edges() * 4);
+}
+
+TEST(Delaunay, PlanarityBound) {
+  // Any planar triangulation satisfies m <= 3n - 6.
+  for (const NodeId n : {100u, 1000u, 5000u}) {
+    const CsrGraph g = gen::delaunay(n, 11);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_LE(g.num_edges(), 3u * n - 6u);
+    // A Delaunay triangulation of generic points is near-maximal planar:
+    // substantially more edges than a spanning tree.
+    EXPECT_GT(g.num_edges(), 2u * n);
+    g.validate();
+  }
+}
+
+TEST(Delaunay, ConnectedAndDeterministic) {
+  const CsrGraph a = gen::delaunay(3000, 5);
+  EXPECT_EQ(reachable_from_zero(a), a.num_nodes());
+  const CsrGraph b = gen::delaunay(3000, 5);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(Delaunay, AverageDegreeNearSix) {
+  // Euler: a Delaunay triangulation has ~3n edges, so average degree ~6.
+  const CsrGraph g = gen::delaunay(8000, 3);
+  const double avg = 2.0 * static_cast<double>(g.num_edges()) /
+                     static_cast<double>(g.num_nodes());
+  EXPECT_GT(avg, 5.5);
+  EXPECT_LT(avg, 6.01);
+}
+
+TEST(BarabasiAlbert, EdgeCountMatchesAttachment) {
+  const NodeId n = 5000;
+  const NodeId d = 4;
+  const CsrGraph g = gen::barabasi_albert(n, d, 9);
+  EXPECT_EQ(g.num_nodes(), n);
+  // Seed clique C(d+1, 2) plus d edges per arriving node.
+  const EdgeIndex expected = static_cast<EdgeIndex>(d) * (d + 1) / 2 +
+                             static_cast<EdgeIndex>(n - d - 1) * d;
+  EXPECT_EQ(g.num_edges(), expected);
+}
+
+TEST(BarabasiAlbert, ProducesSkewedDegrees) {
+  const CsrGraph g = gen::barabasi_albert(20000, 4, 1);
+  // Power-law-ish: hub degree far above the average degree of ~8.
+  EXPECT_GT(g.max_degree(), 100u);
+  EXPECT_EQ(reachable_from_zero(g), g.num_nodes());
+}
+
+TEST(Rmat, SizeAndSkew) {
+  const CsrGraph g = gen::rmat(12, 8, 77);
+  EXPECT_EQ(g.num_nodes(), 4096u);
+  // Duplicates merge, so fewer than 8n distinct edges — but most survive.
+  EXPECT_GT(g.num_edges(), 4096u * 4);
+  EXPECT_LE(g.num_edges(), 4096u * 8);
+  EXPECT_GT(g.max_degree(), 64u); // heavy head of the distribution
+  g.validate();
+}
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  const CsrGraph g = gen::erdos_renyi(1000, 5000, 3);
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  EXPECT_EQ(g.num_edges(), 5000u);
+  g.validate();
+}
+
+TEST(WattsStrogatz, DegreeSumPreservedByRewiring) {
+  const NodeId n = 2000;
+  const NodeId k = 4;
+  const CsrGraph g = gen::watts_strogatz(n, k, 0.2, 13);
+  EXPECT_EQ(g.num_nodes(), n);
+  // Rewiring never creates or destroys edges (up to the rare merge skip).
+  EXPECT_GE(g.num_edges(), static_cast<EdgeIndex>(n) * k * 95 / 100);
+  EXPECT_LE(g.num_edges(), static_cast<EdgeIndex>(n) * k);
+}
+
+TEST(WattsStrogatz, BetaZeroIsRingLattice) {
+  const CsrGraph g = gen::watts_strogatz(100, 3, 0.0, 1);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(g.degree(u), 6u);
+  }
+}
+
+TEST(RoadNetwork, SparseAndLowDegree) {
+  const CsrGraph g = gen::road_network(60, 60, 21);
+  EXPECT_EQ(g.num_nodes(), 3600u);
+  const double avg = 2.0 * static_cast<double>(g.num_edges()) /
+                     static_cast<double>(g.num_nodes());
+  EXPECT_GT(avg, 2.0);
+  EXPECT_LT(avg, 4.5);
+  EXPECT_LE(g.max_degree(), 8u);
+  g.validate();
+}
+
+} // namespace
+} // namespace oms

@@ -1,0 +1,155 @@
+#include "oms/graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "oms/graph/generators.hpp"
+#include "oms/graph/graph_builder.hpp"
+#include "tests/test_support.hpp"
+
+namespace oms {
+namespace {
+
+class IoTest : public ::testing::Test {
+protected:
+  std::string temp_path(const char* name) {
+    return ::testing::TempDir() + "/oms_io_" + name;
+  }
+};
+
+void expect_graphs_equal(const CsrGraph& a, const CsrGraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    EXPECT_EQ(a.node_weight(u), b.node_weight(u));
+    const auto na = a.neighbors(u);
+    const auto nb = b.neighbors(u);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i], nb[i]);
+      EXPECT_EQ(a.incident_weights(u)[i], b.incident_weights(u)[i]);
+    }
+  }
+}
+
+TEST_F(IoTest, MetisRoundTripUnitWeights) {
+  const CsrGraph original = gen::grid_2d(13, 17);
+  const std::string path = temp_path("unit.graph");
+  write_metis(original, path);
+  const CsrGraph loaded = read_metis(path);
+  expect_graphs_equal(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MetisRoundTripEdgeWeights) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1, 5);
+  builder.add_edge(1, 2, 7);
+  builder.add_edge(2, 3, 2);
+  const CsrGraph original = std::move(builder).build();
+  const std::string path = temp_path("ew.graph");
+  write_metis(original, path);
+  const CsrGraph loaded = read_metis(path);
+  expect_graphs_equal(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MetisRoundTripNodeAndEdgeWeights) {
+  GraphBuilder builder(5);
+  builder.set_node_weight(0, 3);
+  builder.set_node_weight(4, 9);
+  builder.add_edge(0, 1, 2);
+  builder.add_edge(0, 4, 11);
+  builder.add_edge(3, 4);
+  const CsrGraph original = std::move(builder).build();
+  const std::string path = temp_path("nwew.graph");
+  write_metis(original, path);
+  const CsrGraph loaded = read_metis(path);
+  expect_graphs_equal(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MetisSkipsCommentLines) {
+  const std::string path = temp_path("comments.graph");
+  {
+    std::ofstream out(path);
+    out << "% a comment\n3 2\n% another\n2\n1 3\n2\n";
+  }
+  const CsrGraph g = read_metis(path);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MetisIsolatedTrailingNodes) {
+  const std::string path = temp_path("isolated.graph");
+  {
+    std::ofstream out(path);
+    out << "4 1\n2\n1\n"; // nodes 3 and 4 have no lines
+  }
+  const CsrGraph g = read_metis(path);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.degree(3), 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MetisIsolatedMidStreamNodesKeepTheirSlot) {
+  // Regression: an isolated node is written as an *empty* line; the reader
+  // must consume it instead of skipping it, or every later adjacency list
+  // shifts onto the wrong node.
+  GraphBuilder builder(5);
+  builder.add_edge(0, 1);
+  builder.add_edge(3, 4); // node 2 is isolated, in the middle of the file
+  const CsrGraph original = std::move(builder).build();
+  const std::string path = temp_path("midiso.graph");
+  write_metis(original, path);
+  const CsrGraph loaded = read_metis(path);
+  EXPECT_EQ(loaded.degree(2), 0u);
+  EXPECT_EQ(loaded.degree(3), 1u);
+  expect_graphs_equal(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MetisHeaderMismatchDies) {
+  const std::string path = temp_path("badheader.graph");
+  {
+    std::ofstream out(path);
+    out << "3 5\n2\n1 3\n2\n"; // claims 5 edges, has 2
+  }
+  EXPECT_DEATH((void)read_metis(path), "disagrees");
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  const CsrGraph original = gen::barabasi_albert(500, 3, 4);
+  const std::string path = temp_path("bin.graph");
+  write_binary(original, path);
+  const CsrGraph loaded = read_binary(path);
+  expect_graphs_equal(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryRejectsBadMagic) {
+  const std::string path = temp_path("badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::uint64_t junk = 0xDEAD;
+    out.write(reinterpret_cast<const char*>(&junk), sizeof junk);
+    out.write(reinterpret_cast<const char*>(&junk), sizeof junk);
+    out.write(reinterpret_cast<const char*>(&junk), sizeof junk);
+  }
+  EXPECT_DEATH((void)read_binary(path), "magic");
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MissingFileDies) {
+  EXPECT_DEATH((void)read_metis("/nonexistent/surely/missing.graph"), "cannot open");
+}
+
+} // namespace
+} // namespace oms

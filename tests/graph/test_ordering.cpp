@@ -1,0 +1,119 @@
+#include "oms/graph/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "oms/graph/generators.hpp"
+#include "oms/partition/metrics.hpp"
+#include "tests/test_support.hpp"
+
+namespace oms {
+namespace {
+
+bool is_permutation_of_iota(const std::vector<NodeId>& perm) {
+  std::vector<NodeId> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != static_cast<NodeId>(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Ordering, AllOrdersArePermutations) {
+  const CsrGraph g = gen::barabasi_albert(500, 3, 2);
+  for (const StreamOrder order :
+       {StreamOrder::kNatural, StreamOrder::kRandom, StreamOrder::kBfs,
+        StreamOrder::kDegreeAscending, StreamOrder::kDegreeDescending}) {
+    const auto perm = make_order(g, order, 17);
+    EXPECT_TRUE(is_permutation_of_iota(perm)) << stream_order_name(order);
+  }
+}
+
+TEST(Ordering, NaturalIsIdentity) {
+  const CsrGraph g = testing::path_graph(10);
+  const auto perm = make_order(g, StreamOrder::kNatural);
+  for (NodeId i = 0; i < 10; ++i) {
+    EXPECT_EQ(perm[i], i);
+  }
+}
+
+TEST(Ordering, DegreeOrdersAreSorted) {
+  const CsrGraph g = gen::barabasi_albert(300, 2, 5);
+  const auto asc = make_order(g, StreamOrder::kDegreeAscending);
+  for (std::size_t i = 1; i < asc.size(); ++i) {
+    EXPECT_LE(g.degree(asc[i - 1]), g.degree(asc[i]));
+  }
+  const auto desc = make_order(g, StreamOrder::kDegreeDescending);
+  for (std::size_t i = 1; i < desc.size(); ++i) {
+    EXPECT_GE(g.degree(desc[i - 1]), g.degree(desc[i]));
+  }
+}
+
+TEST(Ordering, BfsVisitsNeighborsBeforeDistantNodes) {
+  const CsrGraph g = testing::path_graph(50);
+  const auto perm = make_order(g, StreamOrder::kBfs);
+  // BFS from 0 on a path is exactly the natural order.
+  for (NodeId i = 0; i < 50; ++i) {
+    EXPECT_EQ(perm[i], i);
+  }
+}
+
+TEST(Ordering, BfsCoversDisconnectedComponents) {
+  GraphBuilder builder(6);
+  builder.add_edge(0, 1);
+  builder.add_edge(3, 4); // component without node 2 and 5
+  const CsrGraph g = std::move(builder).build();
+  const auto perm = make_order(g, StreamOrder::kBfs);
+  EXPECT_TRUE(is_permutation_of_iota(perm));
+}
+
+TEST(Ordering, ApplyOrderPreservesStructure) {
+  const CsrGraph g = gen::random_geometric(400, 3);
+  const auto perm = make_order(g, StreamOrder::kRandom, 99);
+  const CsrGraph h = apply_order(g, perm);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.total_edge_weight(), g.total_edge_weight());
+  EXPECT_EQ(h.max_degree(), g.max_degree());
+  // Degrees transport through the permutation: new id i was old perm[i].
+  for (NodeId i = 0; i < h.num_nodes(); ++i) {
+    EXPECT_EQ(h.degree(i), g.degree(perm[i]));
+  }
+  h.validate();
+}
+
+TEST(Ordering, EdgeCutInvariantUnderRelabeling) {
+  const CsrGraph g = gen::random_geometric(300, 8);
+  const auto perm = make_order(g, StreamOrder::kRandom, 123);
+  const CsrGraph h = apply_order(g, perm);
+  // Any partition of g maps to the relabeled partition of h with equal cut.
+  std::vector<BlockId> part_g(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    part_g[u] = static_cast<BlockId>(u % 4);
+  }
+  std::vector<BlockId> part_h(g.num_nodes());
+  for (NodeId new_id = 0; new_id < g.num_nodes(); ++new_id) {
+    part_h[new_id] = part_g[perm[new_id]];
+  }
+  EXPECT_EQ(edge_cut(g, part_g), edge_cut(h, part_h));
+}
+
+TEST(Ordering, RandomOrderIsSeedDeterministic) {
+  const CsrGraph g = testing::path_graph(100);
+  EXPECT_EQ(make_order(g, StreamOrder::kRandom, 5),
+            make_order(g, StreamOrder::kRandom, 5));
+  EXPECT_NE(make_order(g, StreamOrder::kRandom, 5),
+            make_order(g, StreamOrder::kRandom, 6));
+}
+
+TEST(OrderingDeath, ApplyOrderRejectsNonPermutation) {
+  const CsrGraph g = testing::path_graph(4);
+  EXPECT_DEATH((void)apply_order(g, {0, 0, 1, 2}), "not a permutation");
+}
+
+} // namespace
+} // namespace oms

@@ -1,0 +1,87 @@
+#include "oms/mapping/topology_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "oms/graph/generators.hpp"
+#include "oms/mapping/mapping_cost.hpp"
+#include "oms/util/random.hpp"
+#include "tests/test_support.hpp"
+
+namespace oms {
+namespace {
+
+TEST(TopologyMatrix, FromHierarchyMatchesHierarchyDistances) {
+  const SystemHierarchy topo = SystemHierarchy::parse("4:4:2", "1:10:100");
+  const TopologyMatrix matrix = TopologyMatrix::from_hierarchy(topo);
+  ASSERT_EQ(matrix.num_pes(), topo.num_pes());
+  for (BlockId x = 0; x < topo.num_pes(); ++x) {
+    for (BlockId y = 0; y < topo.num_pes(); ++y) {
+      EXPECT_EQ(matrix.distance(x, y), topo.distance(x, y));
+    }
+  }
+}
+
+TEST(TopologyMatrix, MatrixCostMatchesHierarchyCost) {
+  const CsrGraph g = gen::random_geometric(800, 5);
+  const SystemHierarchy topo = SystemHierarchy::parse("4:4", "1:10");
+  const TopologyMatrix matrix = TopologyMatrix::from_hierarchy(topo);
+  Rng rng(3);
+  std::vector<BlockId> mapping(g.num_nodes());
+  for (auto& pe : mapping) {
+    pe = static_cast<BlockId>(rng.next_below(16));
+  }
+  EXPECT_EQ(mapping_cost(g, topo, mapping), mapping_cost_matrix(g, matrix, mapping));
+}
+
+TEST(TopologyMatrix, Torus2dDistances) {
+  const TopologyMatrix torus = TopologyMatrix::torus_2d(4, 4);
+  EXPECT_EQ(torus.num_pes(), 16);
+  EXPECT_EQ(torus.distance(0, 0), 0);
+  EXPECT_EQ(torus.distance(0, 1), 1);  // x-neighbor
+  EXPECT_EQ(torus.distance(0, 3), 1);  // x wraparound
+  EXPECT_EQ(torus.distance(0, 4), 1);  // y-neighbor
+  EXPECT_EQ(torus.distance(0, 12), 1); // y wraparound
+  EXPECT_EQ(torus.distance(0, 5), 2);  // diagonal
+  EXPECT_EQ(torus.distance(0, 10), 4); // opposite corner: 2 + 2
+}
+
+TEST(TopologyMatrix, ChainDistances) {
+  const TopologyMatrix chain = TopologyMatrix::chain(5);
+  EXPECT_EQ(chain.distance(0, 4), 4);
+  EXPECT_EQ(chain.distance(2, 3), 1);
+  EXPECT_EQ(chain.distance(3, 3), 0);
+}
+
+TEST(TopologyMatrix, FullyConnectedIsUniform) {
+  const TopologyMatrix fc = TopologyMatrix::fully_connected(6, 7);
+  for (BlockId x = 0; x < 6; ++x) {
+    for (BlockId y = 0; y < 6; ++y) {
+      EXPECT_EQ(fc.distance(x, y), x == y ? 0 : 7);
+    }
+  }
+}
+
+TEST(TopologyMatrix, FullyConnectedCostEqualsCutTimesTwo) {
+  // On a uniform switch, J = 2 * uniform * edge-cut: mapping quality reduces
+  // to pure partitioning, the degenerate case of process mapping.
+  const CsrGraph g = testing::clique_chain(3, 4);
+  const TopologyMatrix fc = TopologyMatrix::fully_connected(3, 5);
+  std::vector<BlockId> mapping(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    mapping[u] = static_cast<BlockId>(u / 4);
+  }
+  EXPECT_EQ(mapping_cost_matrix(g, fc, mapping), 2 * 5 * 2); // 2 bridges cut
+}
+
+TEST(TopologyMatrixDeath, RejectsAsymmetry) {
+  std::vector<std::vector<std::int64_t>> bad{{0, 1}, {2, 0}};
+  EXPECT_DEATH((void)TopologyMatrix(std::move(bad)), "symmetric");
+}
+
+TEST(TopologyMatrixDeath, RejectsNonZeroDiagonal) {
+  std::vector<std::vector<std::int64_t>> bad{{1, 1}, {1, 0}};
+  EXPECT_DEATH((void)TopologyMatrix(std::move(bad)), "self-distance");
+}
+
+} // namespace
+} // namespace oms

@@ -1,0 +1,107 @@
+#include "oms/multilevel/greedy_mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "oms/graph/generators.hpp"
+#include "oms/mapping/mapping_cost.hpp"
+#include "oms/partition/metrics.hpp"
+#include "tests/test_support.hpp"
+
+namespace oms {
+namespace {
+
+bool is_permutation(const std::vector<BlockId>& perm) {
+  std::vector<BlockId> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != static_cast<BlockId>(i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(GreedyMapping, ProducesAPermutation) {
+  const CsrGraph g = gen::barabasi_albert(800, 4, 3);
+  const SystemHierarchy topo = SystemHierarchy::parse("4:4", "1:10");
+  std::vector<BlockId> partition(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    partition[u] = static_cast<BlockId>(u % 16);
+  }
+  const BlockGraph bg = BlockGraph::build(g, partition, 16);
+  const auto perm = greedy_block_to_pe(bg, topo);
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+TEST(GreedyMapping, PlacesCommunicatingBlocksClose) {
+  // Chain of 4 cliques with bridges 0-1, 1-2, 2-3 on a 2x2 hierarchy: greedy
+  // must put at least one bridged pair inside the same top-level module,
+  // beating the worst-case placement.
+  const CsrGraph g = testing::clique_chain(4, 6);
+  const SystemHierarchy topo = SystemHierarchy::parse("2:2", "1:100");
+  std::vector<BlockId> partition(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    partition[u] = static_cast<BlockId>(u / 6);
+  }
+  // Worst case: neighbors in the chain always cross the expensive level.
+  std::vector<BlockId> worst = partition;
+  const BlockId scatter[4] = {0, 2, 1, 3};
+  for (auto& b : worst) {
+    b = scatter[b];
+  }
+  std::vector<BlockId> greedy = partition;
+  apply_greedy_mapping(g, greedy, topo);
+  EXPECT_LT(mapping_cost(g, topo, greedy), mapping_cost(g, topo, worst));
+}
+
+TEST(GreedyMapping, ImprovesIdentityOnAverage) {
+  // Over a handful of random partitions, greedy construction should beat the
+  // identity mapping in total (it may tie on symmetric cases).
+  const SystemHierarchy topo = SystemHierarchy::parse("4:4:2", "1:10:100");
+  Cost identity_total = 0;
+  Cost greedy_total = 0;
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const CsrGraph g = gen::random_geometric(2000, seed);
+    std::vector<BlockId> partition(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      partition[u] =
+          static_cast<BlockId>((u * 2654435761u) % static_cast<NodeId>(32));
+    }
+    identity_total += mapping_cost(g, topo, partition);
+    std::vector<BlockId> greedy = partition;
+    apply_greedy_mapping(g, greedy, topo);
+    greedy_total += mapping_cost(g, topo, greedy);
+  }
+  EXPECT_LE(greedy_total, identity_total);
+}
+
+TEST(GreedyMapping, PreservesBlockContents) {
+  const CsrGraph g = gen::grid_2d(20, 20);
+  const SystemHierarchy topo = SystemHierarchy::parse("2:4", "1:10");
+  std::vector<BlockId> partition(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    partition[u] = static_cast<BlockId>(u % 8);
+  }
+  auto before = block_weights_of(g, partition, 8);
+  std::sort(before.begin(), before.end());
+  apply_greedy_mapping(g, partition, topo);
+  auto after = block_weights_of(g, partition, 8);
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after);
+}
+
+TEST(GreedyMapping, HandlesIsolatedBlocks) {
+  // Blocks with no communication at all must still receive distinct PEs.
+  const CsrGraph g = testing::path_graph(8); // blocks 4..7 will be isolated
+  const SystemHierarchy topo = SystemHierarchy::parse("8", "5");
+  std::vector<BlockId> partition{0, 0, 1, 1, 2, 3, 4, 5};
+  partition.resize(8);
+  const BlockGraph bg = BlockGraph::build(g, partition, 8);
+  const auto perm = greedy_block_to_pe(bg, topo);
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+} // namespace
+} // namespace oms

@@ -1,0 +1,107 @@
+#include "oms/multilevel/label_propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "oms/graph/generators.hpp"
+#include "oms/partition/metrics.hpp"
+#include "oms/partition/partition_config.hpp"
+#include "tests/test_support.hpp"
+
+namespace oms {
+namespace {
+
+TEST(LpClustering, MergesCliques) {
+  const CsrGraph g = testing::clique_chain(4, 6);
+  LabelPropagationConfig config;
+  const auto cluster = lp_clustering(g, /*max_cluster_weight=*/6, config);
+  // Each clique collapses to one cluster (weight cap 6 = clique size).
+  for (NodeId c = 0; c < 4; ++c) {
+    for (NodeId u = 1; u < 6; ++u) {
+      EXPECT_EQ(cluster[c * 6 + u], cluster[c * 6]);
+    }
+  }
+  const NodeId num_clusters = *std::max_element(cluster.begin(), cluster.end()) + 1;
+  EXPECT_EQ(num_clusters, 4u);
+}
+
+TEST(LpClustering, RespectsWeightCap) {
+  const CsrGraph g = gen::grid_2d(30, 30);
+  LabelPropagationConfig config;
+  const NodeWeight cap = 10;
+  const auto cluster = lp_clustering(g, cap, config);
+  const NodeId num_clusters = *std::max_element(cluster.begin(), cluster.end()) + 1;
+  std::vector<NodeWeight> weight(num_clusters, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    weight[cluster[u]] += g.node_weight(u);
+  }
+  for (const NodeWeight w : weight) {
+    EXPECT_LE(w, cap);
+  }
+}
+
+TEST(LpClustering, IdsAreDense) {
+  const CsrGraph g = gen::barabasi_albert(500, 3, 4);
+  LabelPropagationConfig config;
+  const auto cluster = lp_clustering(g, 20, config);
+  const NodeId num_clusters = *std::max_element(cluster.begin(), cluster.end()) + 1;
+  std::vector<bool> used(num_clusters, false);
+  for (const NodeId c : cluster) {
+    used[c] = true;
+  }
+  EXPECT_TRUE(std::all_of(used.begin(), used.end(), [](bool b) { return b; }));
+}
+
+TEST(LpRefinement, NeverWorsensTheCut) {
+  const CsrGraph g = gen::random_geometric(2000, 6);
+  // Start from a deliberately bad partition: round-robin.
+  std::vector<BlockId> partition(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    partition[u] = static_cast<BlockId>(u % 8);
+  }
+  const Cost before = edge_cut(g, partition);
+  LabelPropagationConfig config;
+  const NodeWeight lmax = max_block_weight(g.total_node_weight(), 8, 0.03);
+  lp_refinement(g, partition, 8, lmax, config);
+  const Cost after = edge_cut(g, partition);
+  EXPECT_LE(after, before);
+  EXPECT_LT(after, before / 2); // and it should actually help a lot
+  EXPECT_TRUE(is_balanced(g, partition, 8, 0.03));
+}
+
+TEST(LpRefinement, FixedPointOnOptimalBisection) {
+  const CsrGraph g = testing::two_cliques_bridge(10);
+  std::vector<BlockId> partition(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    partition[u] = u < 10 ? 0 : 1;
+  }
+  LabelPropagationConfig config;
+  const NodeWeight lmax = max_block_weight(g.total_node_weight(), 2, 0.03);
+  const std::size_t moved = lp_refinement(g, partition, 2, lmax, config);
+  EXPECT_EQ(moved, 0u);
+  EXPECT_EQ(edge_cut(g, partition), 1);
+}
+
+TEST(Rebalance, EnforcesTheConstraint) {
+  const CsrGraph g = gen::barabasi_albert(1000, 3, 8);
+  // Everything in block 0: grossly unbalanced.
+  std::vector<BlockId> partition(g.num_nodes(), 0);
+  const NodeWeight lmax = max_block_weight(g.total_node_weight(), 4, 0.03);
+  rebalance(g, partition, 4, lmax);
+  EXPECT_TRUE(is_balanced(g, partition, 4, 0.03));
+}
+
+TEST(Rebalance, NoOpWhenAlreadyBalanced) {
+  const CsrGraph g = testing::path_graph(16);
+  std::vector<BlockId> partition(16);
+  for (NodeId u = 0; u < 16; ++u) {
+    partition[u] = static_cast<BlockId>(u / 4);
+  }
+  const std::vector<BlockId> before = partition;
+  rebalance(g, partition, 4, max_block_weight(16, 4, 0.03));
+  EXPECT_EQ(partition, before);
+}
+
+} // namespace
+} // namespace oms

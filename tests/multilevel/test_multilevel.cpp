@@ -1,0 +1,91 @@
+#include "oms/multilevel/multilevel_partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "oms/graph/generators.hpp"
+#include "oms/partition/hashing.hpp"
+#include "oms/partition/metrics.hpp"
+#include "oms/stream/one_pass_driver.hpp"
+#include "tests/test_support.hpp"
+
+namespace oms {
+namespace {
+
+TEST(BfsBandPartition, ProducesContiguousBalancedBands) {
+  const CsrGraph g = gen::grid_2d(20, 20);
+  const NodeWeight lmax = max_block_weight(g.total_node_weight(), 4, 0.03);
+  const auto partition = bfs_band_partition(g, 4, lmax, 1);
+  verify_partition(g, partition, 4);
+  EXPECT_TRUE(is_balanced(g, partition, 4, 0.03));
+  // Bands on a grid cut far fewer edges than random assignment would.
+  EXPECT_LT(edge_cut(g, partition), static_cast<Cost>(g.num_edges()) / 2);
+}
+
+TEST(MultilevelPartitioner, BalancedAcrossKSweep) {
+  const CsrGraph g = gen::random_geometric(3000, 17);
+  for (const BlockId k : {2, 3, 7, 16, 64, 100}) {
+    MultilevelConfig config;
+    const MultilevelResult r = multilevel_partition(g, k, config);
+    verify_partition(g, r.partition, k);
+    EXPECT_TRUE(is_balanced(g, r.partition, k, 0.03)) << "k=" << k;
+  }
+}
+
+TEST(MultilevelPartitioner, ClearlyBeatsHashing) {
+  // The role KaMinPar plays in the paper: a quality reference far above the
+  // streaming baselines (Fig. 2b shows ~3000% improvement over Hashing).
+  const CsrGraph g = gen::grid_2d(60, 60);
+  const BlockId k = 16;
+  MultilevelConfig config;
+  const MultilevelResult ml = multilevel_partition(g, k, config);
+
+  PartitionConfig pc;
+  pc.k = k;
+  HashingPartitioner hashing(g.num_nodes(), g.total_node_weight(), pc);
+  const StreamResult hash = run_one_pass(g, hashing, 1);
+
+  EXPECT_LT(edge_cut(g, ml.partition) * 4, edge_cut(g, hash.assignment));
+}
+
+TEST(MultilevelPartitioner, OptimalOnTwoCliques) {
+  const CsrGraph g = testing::two_cliques_bridge(20);
+  MultilevelConfig config;
+  const MultilevelResult r = multilevel_partition(g, 2, config);
+  EXPECT_EQ(edge_cut(g, r.partition), 1);
+}
+
+TEST(MultilevelPartitioner, UsesCoarseningOnLargeInputs) {
+  const CsrGraph g = gen::barabasi_albert(20000, 4, 5);
+  MultilevelConfig config;
+  const MultilevelResult r = multilevel_partition(g, 8, config);
+  EXPECT_GT(r.levels_used, 0);
+  EXPECT_GT(r.peak_graph_bytes, g.memory_footprint_bytes());
+  verify_partition(g, r.partition, 8);
+}
+
+TEST(MultilevelPartitioner, HandlesDisconnectedGraphs) {
+  GraphBuilder builder(100);
+  for (NodeId u = 0; u < 48; ++u) {
+    builder.add_edge(u, u + 1);
+  }
+  for (NodeId u = 50; u < 99; ++u) {
+    builder.add_edge(u, u + 1);
+  }
+  const CsrGraph g = std::move(builder).build();
+  MultilevelConfig config;
+  const MultilevelResult r = multilevel_partition(g, 4, config);
+  verify_partition(g, r.partition, 4);
+  EXPECT_TRUE(is_balanced(g, r.partition, 4, 0.03));
+}
+
+TEST(MultilevelPartitioner, KOneDegenerate) {
+  const CsrGraph g = testing::cycle_graph(50);
+  MultilevelConfig config;
+  const MultilevelResult r = multilevel_partition(g, 1, config);
+  for (const BlockId b : r.partition) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+} // namespace
+} // namespace oms

@@ -1,0 +1,106 @@
+#include "oms/partition/hashing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "oms/graph/generators.hpp"
+#include "oms/partition/metrics.hpp"
+#include "oms/stream/one_pass_driver.hpp"
+#include "tests/test_support.hpp"
+
+namespace oms {
+namespace {
+
+PartitionConfig config_for(BlockId k, double eps = 0.03, std::uint64_t seed = 1) {
+  PartitionConfig pc;
+  pc.k = k;
+  pc.epsilon = eps;
+  pc.seed = seed;
+  return pc;
+}
+
+TEST(Hashing, AssignsEveryNode) {
+  const CsrGraph g = testing::path_graph(100);
+  HashingPartitioner p(g.num_nodes(), g.total_node_weight(), config_for(8));
+  const StreamResult r = run_one_pass(g, p, 1);
+  verify_partition(g, r.assignment, 8);
+}
+
+TEST(Hashing, IsSeedDeterministic) {
+  const CsrGraph g = gen::erdos_renyi(500, 1500, 2);
+  HashingPartitioner a(g.num_nodes(), g.total_node_weight(), config_for(16, 0.03, 7));
+  HashingPartitioner b(g.num_nodes(), g.total_node_weight(), config_for(16, 0.03, 7));
+  const auto assignment_a = run_one_pass(g, a, 1).assignment;
+  EXPECT_EQ(assignment_a, run_one_pass(g, b, 1).assignment);
+
+  HashingPartitioner c(g.num_nodes(), g.total_node_weight(), config_for(16, 0.03, 8));
+  EXPECT_NE(assignment_a, run_one_pass(g, c, 1).assignment);
+}
+
+TEST(Hashing, RespectsBalanceConstraint) {
+  for (const BlockId k : {2, 3, 7, 16, 64}) {
+    const CsrGraph g = gen::barabasi_albert(2000, 3, 4);
+    HashingPartitioner p(g.num_nodes(), g.total_node_weight(), config_for(k));
+    const StreamResult r = run_one_pass(g, p, 1);
+    EXPECT_TRUE(is_balanced(g, r.assignment, k, 0.03)) << "k=" << k;
+  }
+}
+
+TEST(Hashing, ProbesForwardWhenBlockFull) {
+  // With eps = 0 and n divisible by k every block must end up exactly full,
+  // which forces the probing path.
+  const CsrGraph g = testing::path_graph(64);
+  HashingPartitioner p(g.num_nodes(), g.total_node_weight(), config_for(4, 0.0));
+  const StreamResult r = run_one_pass(g, p, 1);
+  const auto weights = block_weights_of(g, r.assignment, 4);
+  for (const NodeWeight w : weights) {
+    EXPECT_EQ(w, 16);
+  }
+}
+
+TEST(Hashing, IgnoresGraphStructure) {
+  // The same node set with different edges must give identical assignments.
+  const CsrGraph a = testing::path_graph(200);
+  const CsrGraph b = testing::star_graph(200);
+  HashingPartitioner pa(200, 200, config_for(8));
+  HashingPartitioner pb(200, 200, config_for(8));
+  EXPECT_EQ(run_one_pass(a, pa, 1).assignment, run_one_pass(b, pb, 1).assignment);
+}
+
+TEST(Hashing, ConstantWorkPerNode) {
+  const CsrGraph g = gen::barabasi_albert(5000, 4, 9);
+  HashingPartitioner p(g.num_nodes(), g.total_node_weight(), config_for(128));
+  const StreamResult r = run_one_pass(g, p, 1);
+  // O(1) per node: score evaluations ~ n (plus rare probes), never ~ n*k.
+  EXPECT_LT(r.work.score_evaluations, 2u * g.num_nodes());
+  EXPECT_EQ(r.work.neighbor_visits, 0u);
+}
+
+TEST(Hashing, ParallelRunStaysBalanced) {
+  const CsrGraph g = gen::grid_2d(60, 60);
+  for (const int threads : {2, 4}) {
+    HashingPartitioner p(g.num_nodes(), g.total_node_weight(), config_for(32));
+    const StreamResult r = run_one_pass(g, p, threads);
+    verify_partition(g, r.assignment, 32);
+    EXPECT_TRUE(is_balanced(g, r.assignment, 32, 0.035)); // tiny parallel slack
+  }
+}
+
+TEST(Hashing, StateBytesIsOrderNPlusK) {
+  const NodeId n = 10000;
+  HashingPartitioner p(n, n, config_for(64));
+  const std::uint64_t bytes = p.state_bytes();
+  EXPECT_GE(bytes, n * sizeof(BlockId));
+  EXPECT_LE(bytes, 2 * (n * sizeof(BlockId) + 64 * sizeof(NodeWeight)));
+}
+
+TEST(Hashing, SingleBlockDegenerate) {
+  const CsrGraph g = testing::cycle_graph(10);
+  HashingPartitioner p(g.num_nodes(), g.total_node_weight(), config_for(1));
+  const StreamResult r = run_one_pass(g, p, 1);
+  for (const BlockId b : r.assignment) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+} // namespace
+} // namespace oms

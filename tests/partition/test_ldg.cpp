@@ -1,0 +1,130 @@
+#include "oms/partition/ldg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "oms/graph/generators.hpp"
+#include "oms/partition/hashing.hpp"
+#include "oms/partition/metrics.hpp"
+#include "oms/stream/one_pass_driver.hpp"
+#include "tests/test_support.hpp"
+
+namespace oms {
+namespace {
+
+PartitionConfig config_for(BlockId k, double eps = 0.03) {
+  PartitionConfig pc;
+  pc.k = k;
+  pc.epsilon = eps;
+  return pc;
+}
+
+TEST(Ldg, FollowsNeighborsOnToyGraph) {
+  // Stream a triangle plus a pendant: after 0 lands somewhere, 1 and 2 must
+  // join it (attraction beats the small penalty), and 3 follows its neighbor.
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  builder.add_edge(1, 2);
+  builder.add_edge(2, 3);
+  const CsrGraph g = std::move(builder).build();
+  // k=2 with eps large enough that one block can hold 3 of 4 nodes.
+  LdgPartitioner p(g.num_nodes(), g.total_node_weight(), config_for(2, 0.5));
+  const StreamResult r = run_one_pass(g, p, 1);
+  EXPECT_EQ(r.assignment[0], r.assignment[1]);
+  EXPECT_EQ(r.assignment[0], r.assignment[2]);
+  // Block of {0,1,2} is full (Lmax = ceil(1.5 * 4 / 2) = 3), so 3 overflows
+  // to the other block despite its neighbor.
+  EXPECT_NE(r.assignment[3], r.assignment[2]);
+}
+
+TEST(Ldg, TieBreaksTowardsLighterBlock) {
+  // An isolated node has score 0 everywhere; it must go to the lighter block.
+  GraphBuilder builder(4);
+  builder.add_edge(0, 1); // 0,1 cluster; 2, 3 isolated
+  const CsrGraph g = std::move(builder).build();
+  LdgPartitioner p(g.num_nodes(), g.total_node_weight(), config_for(2, 1.0));
+  const StreamResult r = run_one_pass(g, p, 1);
+  // 0 -> block A; 1 joins it; 2 must take the empty block; 3 balances.
+  EXPECT_EQ(r.assignment[0], r.assignment[1]);
+  EXPECT_NE(r.assignment[2], r.assignment[0]);
+}
+
+TEST(Ldg, AbsorbsBridgeNodeThenOverflows) {
+  // LDG's multiplicative penalty never prefers an empty block over any
+  // positive attraction, so the first clique absorbs the bridge node 8 until
+  // block capacity (Lmax = 9) stops it; the remaining clique-B nodes fill
+  // block B. Clique A itself must stay intact.
+  const CsrGraph g = testing::two_cliques_bridge(8);
+  LdgPartitioner p(g.num_nodes(), g.total_node_weight(), config_for(2));
+  const StreamResult r = run_one_pass(g, p, 1);
+  for (NodeId u = 1; u < 8; ++u) {
+    EXPECT_EQ(r.assignment[u], r.assignment[0]);
+  }
+  EXPECT_EQ(r.assignment[8], r.assignment[0]); // bridge node pulled across
+  // Cut = node 8's 7 edges into clique B; far below the ~half-of-m a random
+  // split would cost.
+  EXPECT_EQ(edge_cut(g, r.assignment), 7);
+  EXPECT_TRUE(is_balanced(g, r.assignment, 2, 0.03));
+}
+
+TEST(Ldg, BalancedAcrossKSweep) {
+  const CsrGraph g = gen::barabasi_albert(3000, 4, 11);
+  for (const BlockId k : {2, 3, 5, 16, 63, 128}) {
+    LdgPartitioner p(g.num_nodes(), g.total_node_weight(), config_for(k));
+    const StreamResult r = run_one_pass(g, p, 1);
+    verify_partition(g, r.assignment, k);
+    EXPECT_TRUE(is_balanced(g, r.assignment, k, 0.03)) << "k=" << k;
+  }
+}
+
+TEST(Ldg, BeatsHashingOnStructuredGraphs) {
+  const CsrGraph g = gen::grid_2d(50, 50);
+  PartitionConfig pc = config_for(8);
+  LdgPartitioner ldg(g.num_nodes(), g.total_node_weight(), pc);
+  HashingPartitioner hashing(g.num_nodes(), g.total_node_weight(), pc);
+  const Cost ldg_cut = edge_cut(g, run_one_pass(g, ldg, 1).assignment);
+  const Cost hash_cut = edge_cut(g, run_one_pass(g, hashing, 1).assignment);
+  EXPECT_LT(ldg_cut * 2, hash_cut); // at least 2x better on a mesh
+}
+
+TEST(Ldg, WorkIsLinearInMPlusNK) {
+  const CsrGraph g = gen::barabasi_albert(2000, 4, 3);
+  const BlockId k = 64;
+  LdgPartitioner p(g.num_nodes(), g.total_node_weight(), config_for(k));
+  const StreamResult r = run_one_pass(g, p, 1);
+  EXPECT_EQ(r.work.neighbor_visits, g.num_arcs());
+  EXPECT_EQ(r.work.score_evaluations,
+            static_cast<std::uint64_t>(g.num_nodes()) * static_cast<std::uint64_t>(k));
+}
+
+TEST(Ldg, HonorsNodeWeights) {
+  GraphBuilder builder(4);
+  builder.set_node_weight(0, 10);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  builder.add_edge(0, 3);
+  const CsrGraph g = std::move(builder).build();
+  // Lmax = ceil(1.03 * 13 / 2) = 7: node 0 (weight 10) exceeds every block's
+  // bound, so LDG falls back to the lightest block; the rest must balance
+  // around it without joining node 0's block beyond capacity.
+  LdgPartitioner p(g.num_nodes(), g.total_node_weight(), config_for(2));
+  const StreamResult r = run_one_pass(g, p, 1);
+  verify_partition(g, r.assignment, 2);
+  // Nodes 1-3 cannot join block of node 0 (it is over capacity already).
+  EXPECT_NE(r.assignment[1], r.assignment[0]);
+  EXPECT_NE(r.assignment[2], r.assignment[0]);
+  EXPECT_NE(r.assignment[3], r.assignment[0]);
+}
+
+TEST(Ldg, ParallelRunsRemainValid) {
+  const CsrGraph g = gen::random_geometric(4000, 5);
+  for (const int threads : {2, 4}) {
+    LdgPartitioner p(g.num_nodes(), g.total_node_weight(), config_for(16));
+    const StreamResult r = run_one_pass(g, p, threads);
+    verify_partition(g, r.assignment, 16);
+    EXPECT_TRUE(is_balanced(g, r.assignment, 16, 0.05)); // parallel slack
+  }
+}
+
+} // namespace
+} // namespace oms

@@ -1,0 +1,113 @@
+#include "oms/partition/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "oms/graph/generators.hpp"
+#include "oms/partition/partition_config.hpp"
+#include "oms/util/random.hpp"
+#include "tests/test_support.hpp"
+
+namespace oms {
+namespace {
+
+TEST(EdgeCut, KnownPartitionsOnPath) {
+  const CsrGraph g = testing::path_graph(6);
+  // Split in the middle: one crossing edge.
+  EXPECT_EQ(edge_cut(g, std::vector<BlockId>{0, 0, 0, 1, 1, 1}), 1);
+  // Alternating: every edge crosses.
+  EXPECT_EQ(edge_cut(g, std::vector<BlockId>{0, 1, 0, 1, 0, 1}), 5);
+  // All together: nothing crosses.
+  EXPECT_EQ(edge_cut(g, std::vector<BlockId>{0, 0, 0, 0, 0, 0}), 0);
+}
+
+TEST(EdgeCut, WeightsAreSummed) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1, 10);
+  builder.add_edge(1, 2, 5);
+  const CsrGraph g = std::move(builder).build();
+  EXPECT_EQ(edge_cut(g, std::vector<BlockId>{0, 1, 1}), 10);
+  EXPECT_EQ(edge_cut(g, std::vector<BlockId>{0, 1, 0}), 15);
+}
+
+TEST(EdgeCut, CompleteGraphFormula) {
+  // K_n split into singleton blocks cuts all C(n,2) edges.
+  const CsrGraph g = testing::complete_graph(6);
+  std::vector<BlockId> partition(6);
+  for (NodeId u = 0; u < 6; ++u) {
+    partition[u] = static_cast<BlockId>(u);
+  }
+  EXPECT_EQ(edge_cut(g, partition), 15);
+}
+
+TEST(EdgeCut, AgreesWithIndependentPairCount) {
+  // Cross-check against a quadratic reference on a random graph/partition.
+  const CsrGraph g = gen::erdos_renyi(200, 1000, 4);
+  Rng rng(7);
+  std::vector<BlockId> partition(g.num_nodes());
+  for (auto& b : partition) {
+    b = static_cast<BlockId>(rng.next_below(5));
+  }
+  Cost reference = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto neigh = g.neighbors(u);
+    const auto weights = g.incident_weights(u);
+    for (std::size_t i = 0; i < neigh.size(); ++i) {
+      if (u < neigh[i] && partition[u] != partition[neigh[i]]) {
+        reference += weights[i];
+      }
+    }
+  }
+  EXPECT_EQ(edge_cut(g, partition), reference);
+}
+
+TEST(BlockWeightsOf, SumsNodeWeights) {
+  GraphBuilder builder(4);
+  builder.set_node_weight(0, 3);
+  builder.set_node_weight(1, 4);
+  builder.add_edge(0, 1);
+  const CsrGraph g = std::move(builder).build();
+  const auto weights = block_weights_of(g, std::vector<BlockId>{0, 1, 1, 0}, 2);
+  EXPECT_EQ(weights[0], 4); // 3 + 1
+  EXPECT_EQ(weights[1], 5); // 4 + 1
+}
+
+TEST(Imbalance, PerfectlyBalancedIsZero) {
+  const CsrGraph g = testing::path_graph(8);
+  EXPECT_DOUBLE_EQ(imbalance(g, std::vector<BlockId>{0, 0, 1, 1, 2, 2, 3, 3}, 4), 0.0);
+}
+
+TEST(Imbalance, DetectsOverload) {
+  const CsrGraph g = testing::path_graph(8);
+  // 6 nodes in block 0 of an even 2-way split: 6 / 4 - 1 = 0.5.
+  EXPECT_DOUBLE_EQ(imbalance(g, std::vector<BlockId>{0, 0, 0, 0, 0, 0, 1, 1}, 2), 0.5);
+}
+
+TEST(IsBalanced, ThresholdIsExactlyLmax) {
+  const CsrGraph g = testing::path_graph(10);
+  // k = 3, eps = 0.03: Lmax = ceil(1.03 * 10/3) = 4.
+  EXPECT_TRUE(is_balanced(g, std::vector<BlockId>{0, 0, 0, 0, 1, 1, 1, 2, 2, 2}, 3,
+                          0.03));
+  EXPECT_FALSE(is_balanced(g, std::vector<BlockId>{0, 0, 0, 0, 0, 1, 1, 2, 2, 2}, 3,
+                           0.03));
+}
+
+TEST(NumNonEmptyBlocks, CountsCorrectly) {
+  EXPECT_EQ(num_non_empty_blocks(std::vector<BlockId>{0, 0, 2, 2}, 4), 2);
+  EXPECT_EQ(num_non_empty_blocks(std::vector<BlockId>{0, 1, 2, 3}, 4), 4);
+  EXPECT_EQ(num_non_empty_blocks(std::vector<BlockId>{}, 4), 0);
+}
+
+TEST(VerifyPartitionDeath, RejectsOutOfRange) {
+  const CsrGraph g = testing::path_graph(3);
+  EXPECT_DEATH(verify_partition(g, std::vector<BlockId>{0, 1, 5}, 2), "outside");
+  EXPECT_DEATH(verify_partition(g, std::vector<BlockId>{0, 1}, 2), "size");
+}
+
+TEST(MaxBlockWeight, CeilFormula) {
+  EXPECT_EQ(max_block_weight(100, 3, 0.03), 35); // ceil(1.03 * 100 / 3)
+  EXPECT_EQ(max_block_weight(64, 4, 0.0), 16);
+  EXPECT_EQ(max_block_weight(10, 3, 0.0), 4); // ceil(10/3)
+}
+
+} // namespace
+} // namespace oms

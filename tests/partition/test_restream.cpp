@@ -1,0 +1,65 @@
+#include "oms/partition/restream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "oms/graph/generators.hpp"
+#include "oms/partition/metrics.hpp"
+#include "tests/test_support.hpp"
+
+namespace oms {
+namespace {
+
+PartitionConfig config_for(BlockId k) {
+  PartitionConfig pc;
+  pc.k = k;
+  pc.epsilon = 0.03;
+  return pc;
+}
+
+TEST(ReFennel, RecordsOneCutPerPass) {
+  const CsrGraph g = gen::random_geometric(1000, 3);
+  ReFennelPartitioner p(g.num_nodes(), g.num_edges(), g.total_node_weight(),
+                        config_for(8));
+  const RestreamResult r = restream(g, p, 4);
+  EXPECT_EQ(r.cut_per_pass.size(), 4u);
+  verify_partition(g, r.assignment, 8);
+}
+
+TEST(ReFennel, RestreamingDoesNotWorsenTheCut) {
+  // On locality-friendly graphs additional passes refine the first pass.
+  const CsrGraph g = gen::grid_2d(40, 40);
+  ReFennelPartitioner p(g.num_nodes(), g.num_edges(), g.total_node_weight(),
+                        config_for(4));
+  const RestreamResult r = restream(g, p, 5);
+  EXPECT_LE(r.cut_per_pass.back(), r.cut_per_pass.front());
+}
+
+TEST(ReFennel, FinalAssignmentMatchesLastPassCut) {
+  const CsrGraph g = gen::barabasi_albert(800, 3, 9);
+  ReFennelPartitioner p(g.num_nodes(), g.num_edges(), g.total_node_weight(),
+                        config_for(6));
+  const RestreamResult r = restream(g, p, 3);
+  EXPECT_EQ(edge_cut(g, r.assignment), r.cut_per_pass.back());
+}
+
+TEST(ReFennel, StaysBalancedAcrossPasses) {
+  const CsrGraph g = gen::random_geometric(2000, 13);
+  ReFennelPartitioner p(g.num_nodes(), g.num_edges(), g.total_node_weight(),
+                        config_for(16));
+  const RestreamResult r = restream(g, p, 3);
+  EXPECT_TRUE(is_balanced(g, r.assignment, 16, 0.03));
+}
+
+TEST(ReFennel, OnePassEqualsPlainFennel) {
+  const CsrGraph g = gen::rmat(10, 4, 2);
+  ReFennelPartitioner re(g.num_nodes(), g.num_edges(), g.total_node_weight(),
+                         config_for(8));
+  const RestreamResult r = restream(g, re, 1);
+  FennelPartitioner plain(g.num_nodes(), g.num_edges(), g.total_node_weight(),
+                          config_for(8));
+  const StreamResult s = run_one_pass(g, plain, 1);
+  EXPECT_EQ(r.assignment, s.assignment);
+}
+
+} // namespace
+} // namespace oms

@@ -1,0 +1,84 @@
+/// \file test_support.hpp
+/// \brief Shared fixtures for the test suite: small hand-checkable graphs and
+///        convenience runners.
+#pragma once
+
+#include <vector>
+
+#include "oms/graph/csr_graph.hpp"
+#include "oms/graph/graph_builder.hpp"
+#include "oms/types.hpp"
+
+namespace oms::testing {
+
+/// Path 0-1-2-...-(n-1).
+inline CsrGraph path_graph(NodeId n) {
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    builder.add_edge(u, u + 1);
+  }
+  return std::move(builder).build();
+}
+
+/// Cycle over n nodes.
+inline CsrGraph cycle_graph(NodeId n) {
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    builder.add_edge(u, (u + 1) % n);
+  }
+  return std::move(builder).build();
+}
+
+/// Complete graph K_n.
+inline CsrGraph complete_graph(NodeId n) {
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      builder.add_edge(u, v);
+    }
+  }
+  return std::move(builder).build();
+}
+
+/// Two cliques of size \p half connected by a single bridge edge — the
+/// canonical "obvious best bisection" instance (cut = 1).
+inline CsrGraph two_cliques_bridge(NodeId half) {
+  GraphBuilder builder(2 * half);
+  for (NodeId u = 0; u < half; ++u) {
+    for (NodeId v = u + 1; v < half; ++v) {
+      builder.add_edge(u, v);
+      builder.add_edge(half + u, half + v);
+    }
+  }
+  builder.add_edge(half - 1, half);
+  return std::move(builder).build();
+}
+
+/// 4-clique chain: c cliques of size s, consecutive cliques joined by one
+/// edge; good for hierarchical partitioning tests (natural blocks).
+inline CsrGraph clique_chain(NodeId cliques, NodeId size) {
+  GraphBuilder builder(cliques * size);
+  for (NodeId c = 0; c < cliques; ++c) {
+    const NodeId base = c * size;
+    for (NodeId u = 0; u < size; ++u) {
+      for (NodeId v = u + 1; v < size; ++v) {
+        builder.add_edge(base + u, base + v);
+      }
+    }
+    if (c + 1 < cliques) {
+      builder.add_edge(base + size - 1, base + size);
+    }
+  }
+  return std::move(builder).build();
+}
+
+/// Star with center 0 and n-1 leaves.
+inline CsrGraph star_graph(NodeId n) {
+  GraphBuilder builder(n);
+  for (NodeId u = 1; u < n; ++u) {
+    builder.add_edge(0, u);
+  }
+  return std::move(builder).build();
+}
+
+} // namespace oms::testing

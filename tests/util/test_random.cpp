@@ -1,0 +1,125 @@
+#include "oms/util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace oms {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(SplitMix64, MixesLowBits) {
+  // Consecutive inputs must land in different mod-k buckets most of the time
+  // (this is what the Hashing partitioner relies on).
+  int same_bucket = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    if (splitmix64(x) % 64 == splitmix64(x + 1) % 64) {
+      ++same_bucket;
+    }
+  }
+  EXPECT_LT(same_bucket, 60); // ~1/64 expected, allow wide slack
+}
+
+TEST(HashCombine, DependsOnBothArguments) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_NE(hash_combine(1, 2), hash_combine(1, 3));
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(7);
+  Rng b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (a() == b()) ? 1 : 0;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(3);
+  for (const std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.next_below(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double min = 1.0;
+  double max = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  EXPECT_LT(min, 0.05);
+  EXPECT_GT(max, 0.95);
+}
+
+TEST(Rng, NextDoubleRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double(-2.5, 4.0);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 4.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequencyRoughlyMatchesP) {
+  Rng rng(9);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    hits += rng.next_bool(0.3) ? 1 : 0;
+  }
+  const double rate = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleProducesPermutation) {
+  Rng rng(13);
+  std::vector<int> values(257);
+  std::iota(values.begin(), values.end(), 0);
+  rng.shuffle(values);
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i], static_cast<int>(i));
+  }
+  // And it actually moved something.
+  bool moved = false;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    moved = moved || values[i] != static_cast<int>(i);
+  }
+  EXPECT_TRUE(moved);
+}
+
+} // namespace
+} // namespace oms

@@ -1,0 +1,59 @@
+#include "oms/util/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace oms {
+namespace {
+
+TEST(Sequence, ParsesPaperHierarchy) {
+  const auto s = parse_sequence("4:16:2");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 4);
+  EXPECT_EQ(s[1], 16);
+  EXPECT_EQ(s[2], 2);
+}
+
+TEST(Sequence, ParsesDistances) {
+  const auto d = parse_sequence("1:10:100");
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[2], 100);
+}
+
+TEST(Sequence, SingleComponent) {
+  const auto s = parse_sequence("8");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], 8);
+}
+
+TEST(Sequence, RoundTripsThroughFormat) {
+  for (const char* text : {"2", "4:16:2", "3:3:3:3", "1:10:100"}) {
+    EXPECT_EQ(format_sequence(parse_sequence(text)), text);
+  }
+}
+
+TEST(Sequence, ProductMatchesK) {
+  EXPECT_EQ(sequence_product(parse_sequence("4:16:2")), 128);
+  EXPECT_EQ(sequence_product(parse_sequence("4:4:4:4")), 256);
+  EXPECT_EQ(sequence_product(parse_sequence("7")), 7);
+}
+
+using SequenceDeath = ::testing::Test;
+
+TEST(SequenceDeath, RejectsEmptyString) {
+  EXPECT_DEATH((void)parse_sequence(""), "empty");
+}
+
+TEST(SequenceDeath, RejectsEmptyComponent) {
+  EXPECT_DEATH((void)parse_sequence("4::2"), "empty component");
+}
+
+TEST(SequenceDeath, RejectsNonInteger) {
+  EXPECT_DEATH((void)parse_sequence("4:x:2"), "not an integer");
+}
+
+TEST(SequenceDeath, RejectsZero) {
+  EXPECT_DEATH((void)parse_sequence("4:0:2"), ">= 1");
+}
+
+} // namespace
+} // namespace oms

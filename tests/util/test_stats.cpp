@@ -1,0 +1,119 @@
+#include "oms/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace oms {
+namespace {
+
+TEST(Means, ArithmeticBasics) {
+  const std::array<double, 3> v{1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(arithmetic_mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(arithmetic_mean({}), 0.0);
+}
+
+TEST(Means, GeometricBasics) {
+  const std::array<double, 2> v{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(v), 2.0);
+  const std::array<double, 3> w{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(w), 2.0);
+}
+
+TEST(Means, GeometricIsScaleInvariantPerInstance) {
+  // The paper uses geomean so every instance has the same influence:
+  // doubling one value multiplies the mean by 2^(1/n) regardless of its size.
+  const std::array<double, 2> small{1.0, 100.0};
+  const std::array<double, 2> doubled_small{2.0, 100.0};
+  const std::array<double, 2> doubled_large{1.0, 200.0};
+  EXPECT_NEAR(geometric_mean(doubled_small) / geometric_mean(small),
+              geometric_mean(doubled_large) / geometric_mean(small), 1e-12);
+}
+
+TEST(Means, ShiftedGeometricToleratesZero) {
+  const std::array<double, 2> v{0.0, 3.0};
+  const double g = shifted_geometric_mean(v, 1.0);
+  EXPECT_NEAR(g, std::sqrt(1.0 * 4.0) - 1.0, 1e-12);
+}
+
+TEST(Improvement, MatchesPaperFormula) {
+  // improvement of A over B = (sigma_B / sigma_A - 1) * 100%.
+  EXPECT_DOUBLE_EQ(improvement_percent(200.0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(50.0, 100.0), -50.0);
+}
+
+TEST(Speedup, Basics) {
+  EXPECT_DOUBLE_EQ(speedup(10.0, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(speedup(1.0, 4.0), 0.25);
+}
+
+TEST(PerformanceProfile, BestAlgorithmStartsAtFullFraction) {
+  PerformanceProfile profile;
+  profile.add("g1", "A", 10.0);
+  profile.add("g1", "B", 20.0);
+  profile.add("g2", "A", 10.0);
+  profile.add("g2", "B", 10.0);
+  EXPECT_DOUBLE_EQ(profile.fraction_within("A", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(profile.fraction_within("B", 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(profile.fraction_within("B", 2.0), 1.0);
+}
+
+TEST(PerformanceProfile, MonotoneInTau) {
+  PerformanceProfile profile;
+  profile.add("g1", "A", 1.0);
+  profile.add("g1", "B", 3.0);
+  profile.add("g2", "A", 5.0);
+  profile.add("g2", "B", 1.0);
+  double prev = 0.0;
+  for (const double tau : {1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) {
+    const double f = profile.fraction_within("B", tau);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(PerformanceProfile, MissingResultCountsAgainstAlgorithm) {
+  PerformanceProfile profile;
+  profile.add("g1", "A", 1.0);
+  profile.add("g2", "A", 1.0);
+  profile.add("g2", "B", 1.0);
+  EXPECT_DOUBLE_EQ(profile.fraction_within("B", 100.0), 0.5);
+}
+
+TEST(PerformanceProfile, ZeroBestHandled) {
+  PerformanceProfile profile;
+  profile.add("g1", "A", 0.0);
+  profile.add("g1", "B", 5.0);
+  EXPECT_DOUBLE_EQ(profile.fraction_within("A", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(profile.fraction_within("B", 1000.0), 0.0);
+}
+
+TEST(PerformanceProfile, TableShape) {
+  PerformanceProfile profile;
+  profile.add("g1", "A", 1.0);
+  profile.add("g1", "B", 2.0);
+  const std::array<double, 3> taus{1.0, 2.0, 4.0};
+  const auto rows = profile.table(taus);
+  ASSERT_EQ(rows.size(), 3u);
+  ASSERT_EQ(rows[0].size(), 3u); // tau + 2 algorithms
+  EXPECT_DOUBLE_EQ(rows[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(rows[2][2], 1.0); // B within tau=4
+}
+
+TEST(RunningStats, TracksMinMeanMax) {
+  RunningStats s;
+  s.add(2.0);
+  s.add(4.0);
+  s.add(9.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+} // namespace
+} // namespace oms

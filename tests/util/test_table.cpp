@@ -1,0 +1,45 @@
+#include "oms/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace oms {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"long-name", "12345"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinter, CellFormatting) {
+  EXPECT_EQ(TablePrinter::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::cell(std::int64_t{-42}), "-42");
+  EXPECT_EQ(TablePrinter::cell(std::uint64_t{7}), "7");
+  EXPECT_EQ(TablePrinter::percent_cell(12.345, 1), "+12.3%");
+  EXPECT_EQ(TablePrinter::percent_cell(-3.0, 1), "-3.0%");
+}
+
+TEST(TablePrinter, CountsRowsAndColumns) {
+  TablePrinter table({"a", "b", "c"});
+  EXPECT_EQ(table.num_columns(), 3u);
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.add_row({"1", "2", "3"});
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TablePrinterDeath, RejectsWrongRowWidth) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.add_row({"only-one"}), "row width");
+}
+
+} // namespace
+} // namespace oms
