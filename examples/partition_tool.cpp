@@ -13,10 +13,14 @@
 /// without it, plain k-way partitioning. --from-disk streams the file node
 /// by node without ever materializing the graph (O(n + k) memory; one-pass
 /// algorithms only). window/buffered use the in-memory graph for lookahead.
+#include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "oms/buffered/buffered_partitioner.hpp"
@@ -47,14 +51,15 @@ struct Options {
   bool from_disk = false;
 };
 
-[[noreturn]] void usage() {
-  std::cerr << "usage: partition_tool <graph.metis> --k K [--algo "
-               "oms|fennel|ldg|hashing]\n"
-               "                      [--hierarchy a1:a2:... --distances "
-               "d1:d2:...]\n"
-               "                      [--epsilon E] [--threads T] [--seed S]\n"
-               "                      [--output FILE] [--from-disk]\n";
-  std::exit(2);
+[[noreturn]] void usage(int exit_code = 2) {
+  (exit_code == 0 ? std::cout : std::cerr)
+      << "usage: partition_tool <graph.metis> --k K [--algo "
+         "oms|fennel|ldg|hashing|window|buffered]\n"
+         "                      [--hierarchy a1:a2:... --distances "
+         "d1:d2:...]\n"
+         "                      [--epsilon E] [--threads T] [--seed S]\n"
+         "                      [--output FILE] [--from-disk]\n";
+  std::exit(exit_code);
 }
 
 Options parse_args(int argc, char** argv) {
@@ -62,17 +67,61 @@ Options parse_args(int argc, char** argv) {
   if (argc < 2) {
     usage();
   }
+  if (std::string(argv[1]) == "--help" || std::string(argv[1]) == "-h") {
+    usage(0);
+  }
   opt.graph_path = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) {
+  int i = 2;
+  const auto value = [&]() -> std::string {
+    if (i + 1 >= argc) {
+      usage();
+    }
+    return argv[++i];
+  };
+  // Shared numeric validation: a typo'd value should print usage, not abort
+  // with an uncaught exception or silently accept a partial parse ("1O").
+  const auto parsed_value = [&](auto parse) {
+    const std::string text = value();
+    try {
+      std::size_t pos = 0;
+      const auto parsed = parse(text, pos);
+      if (pos != text.size()) {
         usage();
       }
-      return argv[++i];
-    };
+      return parsed;
+    } catch (const std::exception&) {
+      usage();
+    }
+  };
+  const auto long_value = [&] {
+    return parsed_value(
+        [](const std::string& s, std::size_t& p) { return std::stol(s, &p); });
+  };
+  const auto double_value = [&] {
+    return parsed_value(
+        [](const std::string& s, std::size_t& p) { return std::stod(s, &p); });
+  };
+  const auto int_value = [&]() -> int {
+    const long parsed = long_value();
+    if (parsed < std::numeric_limits<int>::min() ||
+        parsed > std::numeric_limits<int>::max()) {
+      usage();
+    }
+    return static_cast<int>(parsed);
+  };
+  const auto u64_value = [&] {
+    return parsed_value([](const std::string& s, std::size_t& p) -> std::uint64_t {
+      // stoull silently wraps negative input; only bare digits qualify.
+      if (s.empty() || s[0] < '0' || s[0] > '9') {
+        throw std::invalid_argument("not a decimal uint64");
+      }
+      return static_cast<std::uint64_t>(std::stoull(s, &p));
+    });
+  };
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
     if (arg == "--k") {
-      opt.k = static_cast<oms::BlockId>(std::stol(value()));
+      opt.k = static_cast<oms::BlockId>(int_value());
     } else if (arg == "--algo") {
       opt.algo = value();
     } else if (arg == "--hierarchy") {
@@ -80,15 +129,17 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--distances") {
       opt.distances = value();
     } else if (arg == "--epsilon") {
-      opt.epsilon = std::stod(value());
+      opt.epsilon = double_value();
     } else if (arg == "--threads") {
-      opt.threads = std::stoi(value());
+      opt.threads = int_value();
     } else if (arg == "--seed") {
-      opt.seed = std::stoull(value());
+      opt.seed = u64_value();
     } else if (arg == "--output") {
       opt.output = value();
     } else if (arg == "--from-disk") {
       opt.from_disk = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
     } else {
       usage();
     }
@@ -142,13 +193,54 @@ int main(int argc, char** argv) {
     std::cerr << "error: need --k or --hierarchy\n";
     return 2;
   }
+  if (!std::isfinite(opt.epsilon) || opt.epsilon < 0.0) {
+    // The partitioners OMS_ASSERT on negative slack (and NaN fails every
+    // capacity comparison); reject both here instead.
+    std::cerr << "error: --epsilon must be a finite value >= 0\n";
+    return 2;
+  }
+  if (opt.from_disk && (opt.algo == "window" || opt.algo == "buffered")) {
+    // These need lookahead over the in-memory graph; one-pass algos only.
+    std::cerr << "error: --algo " << opt.algo << " is incompatible with --from-disk\n";
+    return 2;
+  }
+  // Both loaders OMS_ASSERT on unopenable files; a bad path deserves a clean
+  // CLI error, not an assertion abort. Directories open "successfully" on
+  // Linux, so reject them explicitly. FIFOs (process substitution, mkfifo
+  // pipelines) must NOT be probe-opened — the open/close would SIGPIPE the
+  // writer — so only regular files get the readability probe.
+  std::error_code fs_error;
+  const std::filesystem::file_status graph_status =
+      std::filesystem::status(opt.graph_path, fs_error);
+  if (fs_error || std::filesystem::is_directory(graph_status) ||
+      (std::filesystem::is_regular_file(graph_status) &&
+       !std::ifstream(opt.graph_path).good())) {
+    std::cerr << "error: cannot open graph file '" << opt.graph_path << "'\n";
+    return 2;
+  }
+  if (opt.from_disk && !std::filesystem::is_regular_file(graph_status)) {
+    // --from-disk opens the file twice (header probe, then the full stream),
+    // which a FIFO cannot replay.
+    std::cerr << "error: --from-disk needs a regular file, not a pipe\n";
+    return 2;
+  }
 
   StreamResult result;
   Timer total;
   if (opt.from_disk) {
-    // True streaming: only the header is read ahead of time.
+    if (opt.threads > 1) {
+      std::cerr << "note: the disk stream is sequential; ignoring --threads "
+                << opt.threads << "\n";
+    }
+    // True streaming: only the header is read ahead of time. Capacity bounds
+    // assume unit node weights (total = n), which the header lets us check.
     MetisNodeStream probe(opt.graph_path);
     const MetisHeader header = probe.header();
+    if (header.has_node_weights) {
+      std::cerr << "error: --from-disk assumes unit node weights; this graph "
+                   "has node weights (load it without --from-disk)\n";
+      return 2;
+    }
     auto assigner = make_assigner(opt, header.num_nodes, header.num_edges,
                                   static_cast<NodeWeight>(header.num_nodes));
     result = run_one_pass_from_file(opt.graph_path, *assigner);
@@ -164,8 +256,16 @@ int main(int argc, char** argv) {
       wc.seed = opt.seed;
       WindowPartitioner window(graph.num_nodes(), graph.total_node_weight(), graph,
                                wc, opt.k);
+      if (opt.threads > 1) {
+        std::cerr << "note: sliding-window partitioning is sequential; "
+                     "--threads only affects the mapping-cost evaluation\n";
+      }
       result = run_one_pass(graph, window, 1);
     } else if (opt.algo == "buffered") {
+      if (opt.threads > 1) {
+        std::cerr << "note: buffered partitioning is sequential; --threads "
+                     "only affects the mapping-cost evaluation\n";
+      }
       BufferedConfig bc;
       bc.epsilon = opt.epsilon;
       bc.seed = opt.seed;
@@ -192,6 +292,11 @@ int main(int argc, char** argv) {
     std::ofstream out(opt.output);
     for (const BlockId b : result.assignment) {
       out << b << '\n';
+    }
+    out.flush();
+    if (!out.good()) {
+      std::cerr << "error: cannot write partition to '" << opt.output << "'\n";
+      return 2;
     }
     std::cout << "partition written to " << opt.output << "\n";
   }

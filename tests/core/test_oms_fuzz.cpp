@@ -1,6 +1,7 @@
 /// Randomized invariant sweep ("fuzz light"): random graphs x random valid
-/// configurations, all invariants must hold on every draw. Seeds are fixed,
-/// so failures reproduce exactly.
+/// configurations, all invariants must hold on every draw. Seeds derive from
+/// oms::testing::test_seed() (fixed unless OMS_TEST_SEED is set), so failures
+/// reproduce exactly.
 #include <gtest/gtest.h>
 
 #include "oms/core/online_multisection.hpp"
@@ -9,6 +10,7 @@
 #include "oms/partition/partition_config.hpp"
 #include "oms/stream/one_pass_driver.hpp"
 #include "oms/util/random.hpp"
+#include "tests/test_support.hpp"
 
 namespace oms {
 namespace {
@@ -16,7 +18,8 @@ namespace {
 class OmsFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(OmsFuzz, InvariantsHoldOnRandomConfigurations) {
-  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  SCOPED_TRACE("OMS_TEST_SEED=" + std::to_string(oms::testing::test_seed()));
+  Rng rng(oms::testing::draw_seed(static_cast<std::uint64_t>(GetParam())));
 
   // Random graph from a random family.
   CsrGraph graph = [&]() -> CsrGraph {
