@@ -4,13 +4,20 @@
 ///        streaming algorithms, and the mapping-objective evaluation.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
 #include "oms/core/multisection_tree.hpp"
 #include "oms/core/online_multisection.hpp"
 #include "oms/graph/generators.hpp"
+#include "oms/graph/io.hpp"
 #include "oms/mapping/mapping_cost.hpp"
 #include "oms/partition/fennel.hpp"
 #include "oms/partition/hashing.hpp"
 #include "oms/partition/ldg.hpp"
+#include "oms/stream/metis_stream.hpp"
 #include "oms/stream/one_pass_driver.hpp"
 
 namespace {
@@ -116,6 +123,28 @@ void BM_StreamOmsMapping(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_StreamOmsMapping)->Arg(4)->Arg(64);
+
+void BM_MetisStreamRead(benchmark::State& state) {
+  // Disk ingest throughput: parse the shared graph's METIS file node by node
+  // (the buffered raw-read + in-place from_chars path). PID-unique path so
+  // concurrent bench runs on a shared machine cannot clobber each other.
+  const std::string path = "/tmp/oms_bench_micro_stream." +
+                           std::to_string(::getpid()) + ".graph";
+  write_metis(shared_graph(), path);
+  EdgeIndex arcs = 0;
+  for (auto _ : state) {
+    MetisNodeStream stream(path);
+    StreamedNode node{};
+    arcs = 0;
+    while (stream.next(node)) {
+      arcs += node.neighbors.size();
+    }
+    benchmark::DoNotOptimize(arcs);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(arcs));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_MetisStreamRead);
 
 void BM_MappingCost(benchmark::State& state) {
   const CsrGraph& graph = shared_graph();

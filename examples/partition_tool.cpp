@@ -33,6 +33,7 @@
 #include "oms/partition/metrics.hpp"
 #include "oms/stream/metis_stream.hpp"
 #include "oms/stream/window_partitioner.hpp"
+#include "oms/util/io_error.hpp"
 #include "oms/util/memory.hpp"
 #include "oms/util/timer.hpp"
 
@@ -178,11 +179,27 @@ std::unique_ptr<oms::OnePassAssigner> make_assigner(const Options& opt, oms::Nod
   usage();
 }
 
+int run_tool(Options opt);
+
 } // namespace
 
 int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  try {
+    return run_tool(opt);
+  } catch (const oms::IoError& e) {
+    // Malformed graph *content* (bad header, out-of-range neighbor, missing
+    // edge weight, ...) is a user-input problem: report and exit non-zero
+    // instead of letting the library abort.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+namespace {
+
+int run_tool(Options opt) {
   using namespace oms;
-  Options opt = parse_args(argc, argv);
 
   std::optional<SystemHierarchy> topo;
   if (opt.hierarchy.has_value()) {
@@ -302,3 +319,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+} // namespace

@@ -9,11 +9,23 @@ template <typename ChildCount>
 void MultisectionTree::build(ChildCount&& children_of) {
   OMS_ASSERT(k_ >= 1);
   blocks_.clear();
+  // Lemma 1: at most 2k blocks when all extents are >= 2; reserving up front
+  // keeps the BFS expansion from copying the block array log(k) times.
+  blocks_.reserve(2 * static_cast<std::size_t>(k_));
   Block root;
   root.leaf_begin = 0;
   root.leaf_end = k_;
   root.depth = 0;
   blocks_.push_back(root);
+
+  // Magic-number computation costs a wide division each; blocks of one layer
+  // share (t, c), so memoize on the previous block's shape (a handful of
+  // recomputations per tree instead of one per block).
+  std::int64_t memo_t = -1;
+  std::int64_t memo_c = -1;
+  FastDiv32 memo_div_big;
+  FastDiv32 memo_div_small;
+  FastMod64 memo_mod_children;
 
   // Iterative BFS-style expansion; children of a block are contiguous.
   for (std::size_t id = 0; id < blocks_.size(); ++id) {
@@ -30,6 +42,18 @@ void MultisectionTree::build(ChildCount&& children_of) {
 
     const std::int64_t small = t / c;
     const std::int64_t big = t % c;
+    if (t != memo_t || c != memo_c) {
+      memo_t = t;
+      memo_c = c;
+      memo_div_big = FastDiv32::of(static_cast<std::uint32_t>(small + 1));
+      memo_div_small = FastDiv32::of(static_cast<std::uint32_t>(small));
+      memo_mod_children = FastMod64::of(static_cast<std::uint32_t>(c));
+    }
+    blocks_[id].num_big = static_cast<std::int32_t>(big);
+    blocks_[id].big_boundary = static_cast<BlockId>(big * (small + 1));
+    blocks_[id].div_big = memo_div_big;
+    blocks_[id].div_small = memo_div_small;
+    blocks_[id].mod_children = memo_mod_children;
     BlockId cursor = current.leaf_begin;
     for (std::int64_t child = 0; child < c; ++child) {
       Block b;
@@ -78,11 +102,31 @@ MultisectionTree MultisectionTree::b_section(BlockId k, int base) {
 void MultisectionTree::finalize(NodeWeight lmax, double alpha_global,
                                 bool adapted_alpha) {
   OMS_ASSERT(lmax >= 0);
-  for (Block& b : blocks_) {
+  capacity_.resize(blocks_.size());
+  penalty_factor_.resize(blocks_.size());
+  for (std::size_t id = 0; id < blocks_.size(); ++id) {
+    Block& b = blocks_[id];
     b.capacity = static_cast<NodeWeight>(b.num_leaves()) * lmax;
     b.alpha = adapted_alpha
                   ? alpha_global / std::sqrt(static_cast<double>(b.num_leaves()))
                   : alpha_global;
+    // fennel_penalty(alpha, 1.5, w) evaluates ((alpha * 1.5) * sqrt(w));
+    // baking the left factor keeps the scorer bit-identical.
+    b.penalty_factor = b.alpha * 1.5;
+    capacity_[id] = b.capacity;
+    penalty_factor_[id] = b.penalty_factor;
+  }
+  // The sparse-candidate scan inside the Fennel scorer needs every sibling
+  // to share (capacity, alpha) — true iff the children split evenly — plus a
+  // strictly increasing penalty and weights that fit its 32-bit key half.
+  for (Block& b : blocks_) {
+    if (b.is_leaf()) {
+      continue;
+    }
+    const auto first = static_cast<std::size_t>(b.first_child);
+    b.fennel_key_scan = b.num_big == 0 && penalty_factor_[first] > 0.0 &&
+                        capacity_[first] >= 0 &&
+                        capacity_[first] < (NodeWeight{1} << 31);
   }
 }
 

@@ -28,6 +28,7 @@
 
 #include "oms/types.hpp"
 #include "oms/util/assert.hpp"
+#include "oms/util/fastdiv.hpp"
 
 namespace oms {
 
@@ -42,6 +43,21 @@ public:
     std::int32_t depth = 0; ///< root = 0
     NodeWeight capacity = 0;
     double alpha = 0.0;
+    /// alpha * gamma for the tuned gamma = 3/2, precomputed by finalize() so
+    /// the Fennel scorer is one multiply and one (cached) sqrt per child.
+    double penalty_factor = 0.0;
+    // Descent accelerators, fixed at construction (internal blocks only):
+    // children split num_leaves() into `num_big` ranges of size small+1
+    // followed by ranges of size small; `big_boundary` = num_big*(small+1).
+    FastDiv32 div_big;     ///< exact division by small + 1
+    FastDiv32 div_small;   ///< exact division by small
+    BlockId big_boundary = 0;
+    std::int32_t num_big = 0;
+    FastMod64 mod_children; ///< exact hash % num_children (hashing layers)
+    /// Children all cover the same leaf count (=> one shared capacity and
+    /// Fennel alpha) and the penalty is strictly increasing — the conditions
+    /// under which the scorer may use the sparse-candidate key scan.
+    bool fennel_key_scan = false;
 
     [[nodiscard]] BlockId num_leaves() const noexcept { return leaf_end - leaf_begin; }
     [[nodiscard]] bool is_leaf() const noexcept { return num_children == 0; }
@@ -58,8 +74,20 @@ public:
 
   /// Compute capacities (t * Lmax) and per-block Fennel alphas. With
   /// \p adapted_alpha false, every block keeps the flat k-way alpha (the
-  /// ablation baseline the paper tunes against).
+  /// ablation baseline the paper tunes against). Also fills the dense
+  /// capacity/penalty side arrays the scorer scans.
   void finalize(NodeWeight lmax, double alpha_global, bool adapted_alpha);
+
+  /// Hot per-block scalars, stored densely so the per-child score loop scans
+  /// 8-byte slots instead of striding whole Block structs.
+  [[nodiscard]] NodeWeight capacity_of(std::size_t id) const noexcept {
+    OMS_HEAVY_ASSERT(id < capacity_.size());
+    return capacity_[id];
+  }
+  [[nodiscard]] double penalty_factor_of(std::size_t id) const noexcept {
+    OMS_HEAVY_ASSERT(id < penalty_factor_.size());
+    return penalty_factor_[id];
+  }
 
   [[nodiscard]] const Block& root() const noexcept { return blocks_.front(); }
   [[nodiscard]] const Block& block(std::size_t id) const noexcept {
@@ -71,20 +99,19 @@ public:
   [[nodiscard]] std::int32_t height() const noexcept { return height_; }
 
   /// Index (within \p parent's children) of the child whose leaf range
-  /// contains \p leaf. O(1): children split the parent range evenly with the
-  /// larger parts first.
-  [[nodiscard]] std::int32_t child_index_of_leaf(const Block& parent,
-                                                 BlockId leaf) const noexcept {
+  /// contains \p leaf. O(1) and division-free: children split the parent
+  /// range evenly with the larger parts first, and both range widths carry a
+  /// precomputed exact-division magic.
+  [[nodiscard]] static std::int32_t child_index_of_leaf(const Block& parent,
+                                                        BlockId leaf) noexcept {
     OMS_HEAVY_ASSERT(leaf >= parent.leaf_begin && leaf < parent.leaf_end);
-    const std::int64_t t = parent.num_leaves();
-    const std::int64_t c = parent.num_children;
-    const std::int64_t small = t / c;
-    const std::int64_t big = t % c; // first `big` children cover small+1 leaves
-    const std::int64_t offset = leaf - parent.leaf_begin;
-    if (offset < big * (small + 1)) {
-      return static_cast<std::int32_t>(offset / (small + 1));
+    const auto offset = static_cast<std::uint32_t>(leaf - parent.leaf_begin);
+    if (offset < static_cast<std::uint32_t>(parent.big_boundary)) {
+      return static_cast<std::int32_t>(parent.div_big.divide(offset));
     }
-    return static_cast<std::int32_t>(big + (offset - big * (small + 1)) / small);
+    return parent.num_big +
+           static_cast<std::int32_t>(parent.div_small.divide(
+               offset - static_cast<std::uint32_t>(parent.big_boundary)));
   }
 
   /// Tree-block id of the leaf covering final block \p leaf (descends from
@@ -103,6 +130,8 @@ private:
   void build(ChildCount&& children_of);
 
   std::vector<Block> blocks_;
+  std::vector<NodeWeight> capacity_;     // mirrors Block::capacity, dense
+  std::vector<double> penalty_factor_;   // mirrors Block::penalty_factor, dense
   BlockId k_ = 0;
   std::int32_t height_ = 0;
 };

@@ -19,11 +19,13 @@ std::vector<BlockId> OnlineMultisection::run_offline_multipass(const CsrGraph& g
   weights_.reset();
   std::fill(assignment_.begin(), assignment_.end(), kInvalidBlock);
   prepare(1);
-  auto& gathered = scratch_.front();
+  auto& gathered = scratch_.front().gathered;
   WorkCounters counters;
 
   // current_block[u] = tree block u is assigned to so far (root initially).
   std::vector<std::size_t> current_block(graph.num_nodes(), 0);
+  // prepare(1) above forced the dense layout.
+  const auto weights_view = weights_.view<BlockWeights::Layout::kDense>();
 
   for (std::int32_t pass = 0; pass < tree_.height(); ++pass) {
     for (NodeId u = 0; u < graph.num_nodes(); ++u) {
@@ -53,8 +55,9 @@ std::vector<BlockId> OnlineMultisection::run_offline_multipass(const CsrGraph& g
         }
       }
       const std::int32_t choice = pick_child(
-          parent, node, std::span<const EdgeWeight>(gathered.data(), children),
-          scorer, parent_id, counters);
+          weights_view, parent, node,
+          std::span<const EdgeWeight>(gathered.data(), children), scorer, parent_id,
+          scratch_.front().touched_children.data(), counters);
       const auto child_id = static_cast<std::size_t>(parent.first_child + choice);
       weights_.add(child_id, node.weight);
       current_block[u] = child_id;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "oms/partition/partition_config.hpp"
+#include "oms/partition/sparse_select.hpp"
 #include "oms/util/random.hpp"
 
 namespace oms {
@@ -45,20 +46,48 @@ OnlineMultisection::OnlineMultisection(NodeId num_nodes, EdgeIndex num_edges,
                                 total_node_weight, config)),
       config_(config),
       assignment_(num_nodes, kInvalidBlock),
-      weights_(tree_.num_blocks()) {
+      weights_(tree_.num_blocks()),
+      sqrt_(tree_.root().capacity) {
   for (std::size_t id = 0; id < tree_.num_blocks(); ++id) {
     max_children_ = std::max(max_children_, tree_.block(id).num_children);
   }
 }
 
 void OnlineMultisection::prepare(int num_threads) {
-  scratch_.assign(static_cast<std::size_t>(num_threads),
-                  std::vector<EdgeWeight>(static_cast<std::size_t>(max_children_), 0));
+  // Sequential passes scan sibling weights densely; concurrent passes hammer
+  // the few top-layer counters from every thread, so spread them one per
+  // cache line (Section 3.4's shared state, minus the false sharing).
+  weights_.set_layout(num_threads > 1 ? BlockWeights::Layout::kPadded
+                                      : BlockWeights::Layout::kDense);
+  scratch_.assign(static_cast<std::size_t>(num_threads), DescentScratch{});
+  for (DescentScratch& s : scratch_) {
+    s.gathered.assign(static_cast<std::size_t>(max_children_), 0);
+    s.touched_children.assign(static_cast<std::size_t>(max_children_), 0);
+  }
 }
 
 BlockId OnlineMultisection::assign(const StreamedNode& node, int thread_id,
                                    WorkCounters& counters) {
-  auto& gathered = scratch_[static_cast<std::size_t>(thread_id)];
+  if (weights_.layout() == BlockWeights::Layout::kPadded) {
+    return assign_impl(weights_.view<BlockWeights::Layout::kPadded>(), node,
+                       thread_id, counters);
+  }
+  return assign_impl(weights_.view<BlockWeights::Layout::kDense>(), node, thread_id,
+                     counters);
+}
+
+template <typename WeightsView>
+BlockId OnlineMultisection::assign_impl(WeightsView weights, const StreamedNode& node,
+                                        int thread_id, WorkCounters& counters) {
+  DescentScratch& scratch = scratch_[static_cast<std::size_t>(thread_id)];
+  EdgeWeight* const gathered = scratch.gathered.data();
+
+  // Frontier of (leaf, edge-weight) pairs of already-assigned neighbors that
+  // still lie inside the subtree descended into so far. Filled by a single
+  // scan of the neighbor list at the top quality layer, then filtered in
+  // place as each layer narrows the subtree.
+  std::size_t frontier = 0;
+  bool frontier_built = false;
 
   std::size_t current = 0; // root
   while (!tree_.block(current).is_leaf()) {
@@ -70,26 +99,55 @@ BlockId OnlineMultisection::assign(const StreamedNode& node, int thread_id,
 
     // Gather neighbor attraction per candidate child. Hashing ignores the
     // neighborhood entirely (that is what makes the hybrid layers cheap —
-    // Theorem 3's O(1) per hashed layer).
+    // Theorem 3's O(1) per hashed layer); quality layers form a prefix of
+    // the descent, so the frontier is never needed again once hashing starts.
     if (scorer != ScorerKind::kHashing) {
-      std::fill_n(gathered.begin(), children, EdgeWeight{0});
-      for (std::size_t i = 0; i < node.neighbors.size(); ++i) {
-        counters.neighbor_visits += 1;
-        const BlockId leaf = assignment_[node.neighbors[i]];
-        if (leaf == kInvalidBlock || leaf < parent.leaf_begin ||
-            leaf >= parent.leaf_end) {
-          continue; // unassigned, or assigned outside this subtree
+      std::fill_n(gathered, children, EdgeWeight{0});
+      if (!frontier_built) {
+        frontier_built = true;
+        const std::size_t degree = node.neighbors.size();
+        if (scratch.leaves.size() < degree) {
+          scratch.leaves.resize(degree);
+          scratch.edge_weights.resize(degree);
         }
-        const std::int32_t child = tree_.child_index_of_leaf(parent, leaf);
-        gathered[static_cast<std::size_t>(child)] += node.edge_weights[i];
+        counters.neighbor_visits += degree;
+        for (std::size_t i = 0; i < degree; ++i) {
+          const BlockId leaf = assignment_[node.neighbors[i]];
+          if (leaf == kInvalidBlock || leaf < parent.leaf_begin ||
+              leaf >= parent.leaf_end) {
+            continue; // unassigned, or assigned outside this subtree
+          }
+          const EdgeWeight w = node.edge_weights[i];
+          const std::int32_t child = MultisectionTree::child_index_of_leaf(parent, leaf);
+          gathered[static_cast<std::size_t>(child)] += w;
+          scratch.leaves[frontier] = leaf;
+          scratch.edge_weights[frontier] = w;
+          ++frontier;
+        }
+      } else {
+        counters.neighbor_visits += frontier;
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < frontier; ++i) {
+          const BlockId leaf = scratch.leaves[i];
+          if (leaf < parent.leaf_begin || leaf >= parent.leaf_end) {
+            continue; // assigned outside the subtree chosen last layer
+          }
+          const EdgeWeight w = scratch.edge_weights[i];
+          const std::int32_t child = MultisectionTree::child_index_of_leaf(parent, leaf);
+          gathered[static_cast<std::size_t>(child)] += w;
+          scratch.leaves[kept] = leaf;
+          scratch.edge_weights[kept] = w;
+          ++kept;
+        }
+        frontier = kept;
       }
     }
 
     const std::int32_t choice = pick_child(
-        parent, node, std::span<const EdgeWeight>(gathered.data(), children), scorer,
-        current, counters);
+        weights, parent, node, std::span<const EdgeWeight>(gathered, children),
+        scorer, current, scratch.touched_children.data(), counters);
     const auto child_id = static_cast<std::size_t>(parent.first_child + choice);
-    weights_.add(child_id, node.weight);
+    weights.add(child_id, node.weight);
     counters.layers_traversed += 1;
     current = child_id;
   }
@@ -99,10 +157,13 @@ BlockId OnlineMultisection::assign(const StreamedNode& node, int thread_id,
   return final_block;
 }
 
-std::int32_t OnlineMultisection::pick_child(const MultisectionTree::Block& parent,
+template <typename WeightsView>
+std::int32_t OnlineMultisection::pick_child(WeightsView weights,
+                                            const MultisectionTree::Block& parent,
                                             const StreamedNode& node,
                                             std::span<const EdgeWeight> gathered,
                                             ScorerKind scorer, std::size_t parent_id,
+                                            std::int32_t* touched_scratch,
                                             WorkCounters& counters) const {
   const std::int32_t children = parent.num_children;
   const auto first = static_cast<std::size_t>(parent.first_child);
@@ -112,41 +173,61 @@ std::int32_t OnlineMultisection::pick_child(const MultisectionTree::Block& paren
 
   if (scorer == ScorerKind::kHashing) {
     // One hash, then forward probing on capacity overflow (same balance
-    // fallback as the flat Hashing baseline).
+    // fallback as the flat Hashing baseline). The reduction of the 64-bit
+    // hash uses the block's precomputed magic instead of a hardware divide,
+    // and the probe wraps by conditional subtraction — both exact.
     const std::uint64_t h = hash_combine(
         static_cast<std::uint64_t>(node.id) ^ config_.seed, parent_id);
-    const auto start = static_cast<std::int32_t>(
-        h % static_cast<std::uint64_t>(children));
+    const auto start = static_cast<std::int32_t>(parent.mod_children.mod(h));
     counters.score_evaluations += 1;
     for (std::int32_t probe = 0; probe < children; ++probe) {
-      const std::int32_t idx = (start + probe) % children;
-      const MultisectionTree::Block& child = tree_.block(first +
-                                                         static_cast<std::size_t>(idx));
-      if (weights_.load(first + static_cast<std::size_t>(idx)) + node.weight <=
-          child.capacity) {
+      std::int32_t idx = start + probe;
+      if (idx >= children) {
+        idx -= children;
+      }
+      const std::size_t child_id = first + static_cast<std::size_t>(idx);
+      if (weights.load(child_id) + node.weight <= tree_.capacity_of(child_id)) {
         return idx;
       }
     }
+  } else if (scorer == ScorerKind::kFennel && parent.fennel_key_scan) {
+    // Exact sparse-candidate selection (see sparse_select.hpp): siblings
+    // share (capacity, alpha) on key-scan layers, so the winner among the
+    // children is recoverable from the attracted children plus the
+    // lexicographic-(weight, index)-min zero-attraction child. Bit-identical
+    // to the dense loop below.
+    counters.score_evaluations += static_cast<std::uint64_t>(children);
+    const std::int32_t best = sparse_fennel_select(
+        children, node.weight, tree_.capacity_of(first),
+        tree_.penalty_factor_of(first), sqrt_,
+        [&](std::int32_t idx) {
+          return weights.load(first + static_cast<std::size_t>(idx));
+        },
+        [&](std::int32_t idx) { return gathered[static_cast<std::size_t>(idx)]; },
+        touched_scratch);
+    if (best >= 0) {
+      return best;
+    }
   } else {
+    counters.score_evaluations += static_cast<std::uint64_t>(children);
     std::int32_t best = -1;
     double best_score = 0.0;
     NodeWeight best_weight = 0;
     for (std::int32_t idx = 0; idx < children; ++idx) {
-      counters.score_evaluations += 1;
       const std::size_t child_id = first + static_cast<std::size_t>(idx);
-      const MultisectionTree::Block& child = tree_.block(child_id);
-      const NodeWeight w = weights_.load(child_id);
-      if (w + node.weight > child.capacity) {
+      const NodeWeight capacity = tree_.capacity_of(child_id);
+      const NodeWeight w = weights.load(child_id);
+      if (w + node.weight > capacity) {
         continue;
       }
       double score = 0.0;
       const auto attraction =
           static_cast<double>(gathered[static_cast<std::size_t>(idx)]);
       if (scorer == ScorerKind::kFennel) {
-        score = attraction - fennel_penalty(child.alpha, 1.5, w);
+        score = attraction - tree_.penalty_factor_of(child_id) * sqrt_(w);
       } else { // LDG
         score = attraction *
-                (1.0 - static_cast<double>(w) / static_cast<double>(child.capacity));
+                (1.0 - static_cast<double>(w) / static_cast<double>(capacity));
       }
       if (best < 0 || score > best_score ||
           (score == best_score && w < best_weight)) {
@@ -166,7 +247,7 @@ std::int32_t OnlineMultisection::pick_child(const MultisectionTree::Block& paren
   NodeWeight best_room = std::numeric_limits<NodeWeight>::min();
   for (std::int32_t idx = 0; idx < children; ++idx) {
     const std::size_t child_id = first + static_cast<std::size_t>(idx);
-    const NodeWeight room = tree_.block(child_id).capacity - weights_.load(child_id);
+    const NodeWeight room = tree_.capacity_of(child_id) - weights.load(child_id);
     if (room > best_room) {
       best_room = room;
       fallback = idx;
@@ -174,6 +255,14 @@ std::int32_t OnlineMultisection::pick_child(const MultisectionTree::Block& paren
   }
   return fallback;
 }
+
+// The offline multipass reference (offline_reference.cpp) scores through the
+// same pick_child; it always runs sequentially, i.e. on the dense layout.
+template std::int32_t
+OnlineMultisection::pick_child(BlockWeights::View<BlockWeights::Layout::kDense>,
+                               const MultisectionTree::Block&, const StreamedNode&,
+                               std::span<const EdgeWeight>, ScorerKind, std::size_t,
+                               std::int32_t*, WorkCounters&) const;
 
 void OnlineMultisection::unassign(NodeId u, NodeWeight weight) {
   const BlockId leaf = assignment_[u];
@@ -188,7 +277,7 @@ void OnlineMultisection::unassign(NodeId u, NodeWeight weight) {
 
 std::uint64_t OnlineMultisection::state_bytes() const noexcept {
   return static_cast<std::uint64_t>(assignment_.capacity() * sizeof(BlockId) +
-                                    weights_.size() * sizeof(NodeWeight) +
+                                    weights_.footprint_bytes() +
                                     tree_.num_blocks() * sizeof(MultisectionTree::Block));
 }
 

@@ -24,6 +24,7 @@
 #include "oms/mapping/hierarchy.hpp"
 #include "oms/stream/block_weights.hpp"
 #include "oms/stream/one_pass_driver.hpp"
+#include "oms/util/sqrt_cache.hpp"
 
 namespace oms {
 
@@ -77,19 +78,47 @@ private:
                      NodeWeight total_node_weight, MultisectionTree tree,
                      const OmsConfig& config);
 
+  /// The descent body, stamped out per weight layout so the per-child weight
+  /// loads carry a compile-time stride (a runtime stride measurably slows
+  /// the wide layers). assign() dispatches once per node.
+  template <typename WeightsView>
+  BlockId assign_impl(WeightsView weights, const StreamedNode& node, int thread_id,
+                      WorkCounters& counters);
+
   /// Pick a child of \p parent for \p node; gathered[i] holds the weight of
-  /// node's neighbors already assigned below child i.
-  [[nodiscard]] std::int32_t pick_child(const MultisectionTree::Block& parent,
+  /// node's neighbors already assigned below child i. \p touched_scratch
+  /// must hold at least parent.num_children slots (used by the sparse
+  /// Fennel key scan). Defined in online_multisection.cpp; the dense
+  /// instantiation is exported for the offline reference.
+  template <typename WeightsView>
+  [[nodiscard]] std::int32_t pick_child(WeightsView weights,
+                                        const MultisectionTree::Block& parent,
                                         const StreamedNode& node,
                                         std::span<const EdgeWeight> gathered,
                                         ScorerKind scorer, std::size_t parent_id,
+                                        std::int32_t* touched_scratch,
                                         WorkCounters& counters) const;
+
+  /// Per-thread descent state. `gathered` holds the per-child attraction of
+  /// the current layer; `leaves`/`edge_weights` hold the shrinking frontier:
+  /// the (final-block, edge-weight) pairs of the node's already-assigned
+  /// neighbors that survive inside the subtree chosen so far. The neighbor
+  /// list itself is scanned exactly once, at the top quality layer; deeper
+  /// layers touch only survivors, so gather work per node is
+  /// O(deg + survivors * layers) instead of O(deg * layers).
+  struct DescentScratch {
+    std::vector<EdgeWeight> gathered;
+    std::vector<BlockId> leaves;
+    std::vector<EdgeWeight> edge_weights;
+    std::vector<std::int32_t> touched_children; // sparse-scan candidates
+  };
 
   MultisectionTree tree_;
   OmsConfig config_;
   std::vector<BlockId> assignment_;
   BlockWeights weights_; // one per tree block, atomics (Section 3.4)
-  std::vector<std::vector<EdgeWeight>> scratch_; // per thread, size max children
+  SqrtCache sqrt_; // covers [0, root capacity]: every Fennel penalty argument
+  std::vector<DescentScratch> scratch_; // per thread
   std::int32_t max_children_ = 0;
 };
 

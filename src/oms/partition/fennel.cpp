@@ -1,5 +1,9 @@
 #include "oms/partition/fennel.hpp"
 
+#include <cstdint>
+
+#include "oms/partition/sparse_select.hpp"
+
 namespace oms {
 
 FennelPartitioner::FennelPartitioner(NodeId num_nodes, EdgeIndex num_edges,
@@ -14,8 +18,16 @@ FennelPartitioner::FennelPartitioner(NodeId num_nodes, NodeWeight total_node_wei
     : config_(config),
       params_(params),
       max_block_weight_(max_block_weight(total_node_weight, config.k, config.epsilon)),
+      penalty_factor_(params.alpha * params.gamma),
+      tuned_gamma_(params.gamma == 1.5),
+      // The sparse-candidate scan needs a strictly increasing penalty (its
+      // untouched-block ordering collapses when alpha == 0) and weights that
+      // fit the 32-bit half of its scan key.
+      sparse_scan_(tuned_gamma_ && params.alpha > 0 &&
+                   max_block_weight_ < (NodeWeight{1} << 31)),
       assignment_(num_nodes, kInvalidBlock),
-      weights_(static_cast<std::size_t>(config.k)) {
+      weights_(static_cast<std::size_t>(config.k)),
+      sqrt_(tuned_gamma_ ? max_block_weight_ : NodeWeight{-1}) {
   OMS_ASSERT(config.k >= 1);
 }
 
@@ -24,6 +36,7 @@ void FennelPartitioner::prepare(int num_threads) {
   for (auto& s : scratch_) {
     s.neighbor_weight.assign(static_cast<std::size_t>(config_.k), 0);
     s.touched.clear();
+    s.candidates.assign(static_cast<std::size_t>(config_.k), 0);
   }
 }
 
@@ -43,23 +56,53 @@ BlockId FennelPartitioner::assign(const StreamedNode& node, int thread_id,
     scratch.neighbor_weight[static_cast<std::size_t>(nb)] += node.edge_weights[i];
   }
 
+  // The per-block work is still Theorem-shaped O(k) (every block's weight is
+  // inspected once); count it as such regardless of which scan runs below.
+  counters.score_evaluations += static_cast<std::uint64_t>(config_.k);
   BlockId best = kInvalidBlock;
   double best_score = 0.0;
   NodeWeight best_weight = 0;
-  for (BlockId b = 0; b < config_.k; ++b) {
-    counters.score_evaluations += 1;
-    const NodeWeight w = weights_.load(static_cast<std::size_t>(b));
-    if (w + node.weight > max_block_weight_) {
-      continue;
-    }
+  const EdgeWeight* const neighbor_weight = scratch.neighbor_weight.data();
+  // Flat partitioners always keep the dense layout: a compile-time unit
+  // stride and a cached sqrt keep the k-wide scan at a multiply per block.
+  const auto weights = weights_.view<BlockWeights::Layout::kDense>();
+  const auto consider = [&](BlockId b, NodeWeight w, double penalty) {
     const double score =
-        static_cast<double>(scratch.neighbor_weight[static_cast<std::size_t>(b)]) -
-        fennel_penalty(params_.alpha, params_.gamma, w);
+        static_cast<double>(neighbor_weight[static_cast<std::size_t>(b)]) - penalty;
     if (best == kInvalidBlock || score > best_score ||
         (score == best_score && w < best_weight)) {
       best = b;
       best_score = score;
       best_weight = w;
+    }
+  };
+  if (sparse_scan_) {
+    // Exact sparse-candidate scan (see sparse_select.hpp for the dominance
+    // argument): bit-identical winner, O(k) integer ops + O(deg) double ops
+    // instead of O(k) double ops. sparse_scan_ guarantees 0 <= w <=
+    // max_block_weight_ < 2^31 and a strictly increasing penalty.
+    best = sparse_fennel_select(
+        config_.k, node.weight, max_block_weight_, penalty_factor_, sqrt_,
+        [&](std::int32_t b) { return weights.load(static_cast<std::size_t>(b)); },
+        [&](std::int32_t b) {
+          return neighbor_weight[static_cast<std::size_t>(b)];
+        },
+        scratch.candidates.data());
+  } else if (tuned_gamma_) {
+    for (BlockId b = 0; b < config_.k; ++b) {
+      const NodeWeight w = weights.load(static_cast<std::size_t>(b));
+      if (w + node.weight > max_block_weight_) {
+        continue;
+      }
+      consider(b, w, penalty_factor_ * sqrt_(w));
+    }
+  } else {
+    for (BlockId b = 0; b < config_.k; ++b) {
+      const NodeWeight w = weights.load(static_cast<std::size_t>(b));
+      if (w + node.weight > max_block_weight_) {
+        continue;
+      }
+      consider(b, w, fennel_penalty(params_.alpha, params_.gamma, w));
     }
   }
   if (best == kInvalidBlock) {

@@ -11,6 +11,7 @@
 #include "oms/partition/partition_config.hpp"
 #include "oms/stream/block_weights.hpp"
 #include "oms/stream/one_pass_driver.hpp"
+#include "oms/util/sqrt_cache.hpp"
 
 namespace oms {
 
@@ -43,13 +44,20 @@ private:
   struct Scratch {
     std::vector<EdgeWeight> neighbor_weight;
     std::vector<BlockId> touched;
+    std::vector<std::int32_t> candidates; // sparse-scan scratch, size k
   };
 
   PartitionConfig config_;
   FennelParams params_;
   NodeWeight max_block_weight_;
+  /// alpha * gamma, hoisted out of the per-block score loop; identical to the
+  /// left-associated product inside fennel_penalty().
+  double penalty_factor_;
+  bool tuned_gamma_; ///< gamma == 3/2: penalty is penalty_factor_ * sqrt(w)
+  bool sparse_scan_; ///< exact sparse-candidate scan applicable (see assign)
   std::vector<BlockId> assignment_;
   BlockWeights weights_;
+  SqrtCache sqrt_; ///< covers [0, max_block_weight_]
   std::vector<Scratch> scratch_;
 };
 

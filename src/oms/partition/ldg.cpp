@@ -36,21 +36,24 @@ BlockId LdgPartitioner::assign(const StreamedNode& node, int thread_id,
     scratch.neighbor_weight[static_cast<std::size_t>(nb)] += node.edge_weights[i];
   }
 
-  // Score all k blocks: attraction * remaining-capacity penalty.
+  // Score all k blocks: attraction * remaining-capacity penalty. The dense
+  // view gives the k-wide scan a compile-time unit stride.
+  const auto weights = weights_.view<BlockWeights::Layout::kDense>();
+  const EdgeWeight* const neighbor_weight = scratch.neighbor_weight.data();
+  const NodeWeight max_weight = max_block_weight_;
+  counters.score_evaluations += static_cast<std::uint64_t>(config_.k);
   BlockId best = kInvalidBlock;
   double best_score = -1.0;
   NodeWeight best_weight = 0;
   for (BlockId b = 0; b < config_.k; ++b) {
-    counters.score_evaluations += 1;
-    const NodeWeight w = weights_.load(static_cast<std::size_t>(b));
-    if (w + node.weight > max_block_weight_) {
+    const NodeWeight w = weights.load(static_cast<std::size_t>(b));
+    if (w + node.weight > max_weight) {
       continue;
     }
     const double penalty =
-        1.0 - static_cast<double>(w) / static_cast<double>(max_block_weight_);
+        1.0 - static_cast<double>(w) / static_cast<double>(max_weight);
     const double score =
-        static_cast<double>(scratch.neighbor_weight[static_cast<std::size_t>(b)]) *
-        penalty;
+        static_cast<double>(neighbor_weight[static_cast<std::size_t>(b)]) * penalty;
     // Tie-break towards the lighter block (paper / Stanton-Kliot rule).
     if (best == kInvalidBlock || score > best_score ||
         (score == best_score && w < best_weight)) {
@@ -64,8 +67,8 @@ BlockId LdgPartitioner::assign(const StreamedNode& node, int thread_id,
     // parallel overshoot): fall back to the globally lightest block.
     best = 0;
     for (BlockId b = 1; b < config_.k; ++b) {
-      if (weights_.load(static_cast<std::size_t>(b)) <
-          weights_.load(static_cast<std::size_t>(best))) {
+      if (weights.load(static_cast<std::size_t>(b)) <
+          weights.load(static_cast<std::size_t>(best))) {
         best = b;
       }
     }

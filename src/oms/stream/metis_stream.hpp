@@ -6,14 +6,23 @@
 /// graph from hard disk" and is what the memory experiment (Section 4.1)
 /// uses: total state is the assignment vector plus block weights, never the
 /// whole graph.
+///
+/// The reader pulls raw chunks into one reusable buffer and parses integers
+/// in place with std::from_chars — no per-line getline, no per-line string
+/// copies. Malformed *content* (bad header, out-of-range neighbor, missing
+/// edge weight, non-numeric token) raises oms::IoError with the file
+/// position, so CLIs fail cleanly instead of aborting.
 #pragma once
 
-#include <fstream>
+#include <cstdio>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "oms/stream/one_pass_driver.hpp"
 #include "oms/types.hpp"
+#include "oms/util/io_error.hpp"
 
 namespace oms {
 
@@ -28,9 +37,19 @@ struct MetisHeader {
 
 /// Sequentially parses a METIS file, exposing one node at a time. The caller
 /// never sees more than one adjacency list at once.
+///
+/// Throws oms::IoError from the constructor (unopenable file, malformed
+/// header) and from next() (malformed data line).
 class MetisNodeStream {
 public:
-  explicit MetisNodeStream(const std::string& path);
+  /// Chunk size of the raw reads; lines longer than the buffer grow it.
+  static constexpr std::size_t kDefaultBufferBytes = std::size_t{1} << 18;
+
+  explicit MetisNodeStream(const std::string& path,
+                           std::size_t buffer_bytes = kDefaultBufferBytes);
+
+  MetisNodeStream(const MetisNodeStream&) = delete;
+  MetisNodeStream& operator=(const MetisNodeStream&) = delete;
 
   [[nodiscard]] const MetisHeader& header() const noexcept { return header_; }
 
@@ -42,15 +61,34 @@ public:
   void rewind();
 
 private:
-  void read_header();
+  struct FileCloser {
+    void operator()(std::FILE* f) const noexcept { std::fclose(f); }
+  };
 
-  std::ifstream in_;
+  void read_header();
+  /// Next raw line (without the newline); false at end of file. The view
+  /// borrows the read buffer and dies at the next call.
+  [[nodiscard]] bool next_line(std::string_view& line);
+  /// Slide the unconsumed tail to the front and read another chunk.
+  void refill();
+  [[noreturn]] void fail(const std::string& message) const;
+
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::string path_;
+  std::vector<char> buffer_;
+  std::size_t pos_ = 0;     ///< first unconsumed byte in buffer_
+  std::size_t end_ = 0;     ///< one past the last valid byte in buffer_
+  std::size_t scanned_ = 0; ///< bytes past pos_ already searched for '\n'
+  bool eof_ = false;
+  std::uint64_t consumed_base_ = 0; ///< file offset of buffer_[0]
+  std::uint64_t data_start_ = 0;    ///< file offset of the first data line
+  std::uint64_t line_no_ = 0;
+  std::uint64_t header_line_no_ = 0;
+
   MetisHeader header_;
   NodeId next_id_ = 0;
-  std::string line_;
   std::vector<NodeId> neighbor_buffer_;
   std::vector<EdgeWeight> weight_buffer_;
-  std::streampos data_start_{};
 };
 
 /// Stream the file through \p assigner (sequential; disk order is the node

@@ -8,7 +8,7 @@
 namespace oms {
 
 StreamResult run_one_pass(const CsrGraph& graph, OnePassAssigner& assigner,
-                          int num_threads) {
+                          int num_threads, std::size_t chunk_size) {
   const int threads = resolve_threads(num_threads);
   assigner.prepare(threads);
 
@@ -25,7 +25,7 @@ StreamResult run_one_pass(const CsrGraph& graph, OnePassAssigner& assigner,
     result.work = counters;
   } else {
     std::mutex merge_mutex;
-    parallel_chunks(graph.num_nodes(), threads,
+    parallel_chunks(graph.num_nodes(), threads, chunk_size,
                     [&](std::size_t begin, std::size_t end, int thread_id) {
                       WorkCounters counters;
                       for (std::size_t i = begin; i < end; ++i) {

@@ -52,7 +52,12 @@ struct StreamResult {
 /// Stream \p graph in node-id order through \p assigner.
 /// \param num_threads 1 = sequential (deterministic); 0 = all hardware
 ///        threads; >1 = that many OpenMP threads (vertex-centric chunks).
+/// \param chunk_size granularity of the parallel decomposition: 0 = one
+///        maximal contiguous chunk per thread (the paper's setup); a
+///        positive value deals chunks of that many nodes to threads
+///        round-robin, smoothing degree skew on hub-heavy streams.
 [[nodiscard]] StreamResult run_one_pass(const CsrGraph& graph, OnePassAssigner& assigner,
-                                        int num_threads = 1);
+                                        int num_threads = 1,
+                                        std::size_t chunk_size = 0);
 
 } // namespace oms

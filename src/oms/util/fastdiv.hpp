@@ -1,0 +1,73 @@
+/// \file fastdiv.hpp
+/// \brief Precomputed magic-number division and modulo (Lemire, "Faster
+///        remainder by direct computation", 2019) for the streaming hot
+///        paths, where the divisor (a child count or sub-range width) is
+///        fixed per tree block but only known at run time.
+///
+/// Both reductions are *exact* — they return bit-identical results to the
+/// hardware `/` and `%` operators — so swapping them into a scorer cannot
+/// change any partition decision.
+#pragma once
+
+#include <cstdint>
+
+#include "oms/util/assert.hpp"
+
+namespace oms {
+
+__extension__ using uint128_t = unsigned __int128;
+
+/// Exact n / d for 32-bit dividends via one 64x64->128 multiply.
+/// d == 1 is encoded as magic == 0 (identity), so a single predictable
+/// branch replaces the divide in the degenerate case.
+struct FastDiv32 {
+  std::uint64_t magic = 0;
+
+  [[nodiscard]] static constexpr FastDiv32 of(std::uint32_t d) noexcept {
+    FastDiv32 f;
+    if (d > 1) {
+      f.magic = ~std::uint64_t{0} / d + 1;
+    }
+    return f;
+  }
+
+  [[nodiscard]] std::uint32_t divide(std::uint32_t n) const noexcept {
+    if (magic == 0) {
+      return n; // divisor 1
+    }
+    return static_cast<std::uint32_t>(
+        (static_cast<uint128_t>(magic) * n) >> 64);
+  }
+};
+
+/// Exact n % d for 64-bit dividends and 32-bit divisors via a 128-bit magic.
+/// Used by the hashing descent layers, whose dividend is a full 64-bit hash.
+struct FastMod64 {
+  uint128_t magic = 0;
+  std::uint32_t divisor = 1;
+
+  [[nodiscard]] static constexpr FastMod64 of(std::uint32_t d) noexcept {
+    FastMod64 f;
+    f.divisor = d;
+    if (d > 1) {
+      f.magic = ~uint128_t{0} / d + 1;
+    }
+    return f;
+  }
+
+  [[nodiscard]] std::uint64_t mod(std::uint64_t n) const noexcept {
+    if (magic == 0) {
+      return 0; // divisor 1
+    }
+    const uint128_t lowbits = magic * n;
+    // ((lowbits * d) >> 128) computed from 64-bit halves.
+    const std::uint64_t lo = static_cast<std::uint64_t>(lowbits);
+    const std::uint64_t hi = static_cast<std::uint64_t>(lowbits >> 64);
+    const std::uint64_t carry =
+        static_cast<std::uint64_t>((static_cast<uint128_t>(lo) * divisor) >> 64);
+    return static_cast<std::uint64_t>(
+        (static_cast<uint128_t>(hi) * divisor + carry) >> 64);
+  }
+};
+
+} // namespace oms

@@ -1,0 +1,21 @@
+/// \file io_error.hpp
+/// \brief Recoverable error channel for streaming graph ingest.
+///
+/// The library's OMS_ASSERT aborts the process, which is right for internal
+/// invariants but wrong for *input* defects: a CLI fed a malformed METIS file
+/// should fail with a message and a non-zero exit, not SIGABRT. Parsers that
+/// consume external bytes (MetisNodeStream) throw IoError instead; callers
+/// that cannot recover simply let it propagate.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace oms {
+
+class IoError : public std::runtime_error {
+public:
+  explicit IoError(const std::string& message) : std::runtime_error(message) {}
+};
+
+} // namespace oms

@@ -1,0 +1,57 @@
+/// \file sqrt_cache.hpp
+/// \brief Memoized sqrt over the small non-negative integers — the only
+///        argument shape the gamma = 3/2 Fennel penalty ever evaluates.
+///
+/// Block weights move in node-weight steps inside [0, capacity], so for the
+/// common capacities the whole argument domain fits a lookup table and the
+/// scorer's sqrtsd (plus GCC's errno spill around it) disappears from the
+/// per-block inner loop. Entries hold exactly std::sqrt(double(w)), keeping
+/// every score bit-identical to the uncached computation; weights beyond the
+/// table (or a negative transient) fall back to std::sqrt.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "oms/types.hpp"
+
+namespace oms {
+
+class SqrtCache {
+public:
+  /// Caps the table at 512 KiB — enough for every block capacity the paper's
+  /// configurations produce; larger domains degrade to plain sqrt.
+  static constexpr std::uint64_t kMaxEntries = std::uint64_t{1} << 16;
+
+  SqrtCache() = default;
+
+  /// Cache sqrt over [0, max_value], clamped to kMaxEntries.
+  explicit SqrtCache(NodeWeight max_value) {
+    if (max_value < 0) {
+      return;
+    }
+    const auto entries =
+        std::min(static_cast<std::uint64_t>(max_value) + 1, kMaxEntries);
+    table_.reserve(entries);
+    for (std::uint64_t w = 0; w < entries; ++w) {
+      table_.push_back(std::sqrt(static_cast<double>(w)));
+    }
+  }
+
+  [[nodiscard]] double operator()(NodeWeight w) const noexcept {
+    // A negative w wraps to a huge index and falls through to std::sqrt,
+    // reproducing the uncached NaN behaviour.
+    const auto u = static_cast<std::uint64_t>(w);
+    if (u < table_.size()) [[likely]] {
+      return table_[u];
+    }
+    return std::sqrt(static_cast<double>(w));
+  }
+
+private:
+  std::vector<double> table_;
+};
+
+} // namespace oms

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# CLI error-channel test: malformed METIS *content* on the --from-disk
+# streaming path must make partition_tool exit non-zero with a clean
+# "error:" message — never SIGABRT (exit 134). The in-memory loader
+# (read_metis, no --from-disk) still asserts on bad contents; migrating it
+# is a tracked ROADMAP item.
+# Usage: test_partition_tool_errors.sh <path-to-partition_tool>
+set -u
+
+tool="$1"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+failures=0
+
+check_clean_error() {
+  local name="$1"
+  local expected_exit="$2"
+  shift 2
+  local out
+  out="$("$@" 2>&1)"
+  local code=$?
+  if [ "$code" -ne "$expected_exit" ]; then
+    echo "FAIL [$name]: exit $code, expected $expected_exit"
+    echo "$out" | sed 's/^/    /'
+    failures=$((failures + 1))
+    return
+  fi
+  if [ "$code" -ne 0 ] && ! printf '%s' "$out" | grep -q "error:"; then
+    echo "FAIL [$name]: no 'error:' message in output"
+    echo "$out" | sed 's/^/    /'
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok   [$name]"
+}
+
+# A well-formed control file: the tool must still succeed on it.
+printf '3 2\n2\n1 3\n2\n' > "$tmpdir/good.graph"
+check_clean_error "well-formed control" 0 \
+  "$tool" "$tmpdir/good.graph" --k 2 --from-disk
+
+# Malformed header.
+printf 'not a header\n' > "$tmpdir/badheader.graph"
+check_clean_error "malformed header" 1 \
+  "$tool" "$tmpdir/badheader.graph" --k 2 --from-disk
+
+# Out-of-range neighbor id.
+printf '2 1\n2\n9\n' > "$tmpdir/range.graph"
+check_clean_error "neighbor out of range" 1 \
+  "$tool" "$tmpdir/range.graph" --k 2 --from-disk
+
+# Edge-weight flag set but a weight is missing.
+printf '2 1 1\n2 5\n1\n' > "$tmpdir/noweight.graph"
+check_clean_error "missing edge weight" 1 \
+  "$tool" "$tmpdir/noweight.graph" --k 2 --from-disk
+
+# Non-numeric token in an adjacency list.
+printf '2 1\n2\nxyz\n' > "$tmpdir/garbage.graph"
+check_clean_error "non-numeric token" 1 \
+  "$tool" "$tmpdir/garbage.graph" --k 2 --from-disk
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures CLI error-channel check(s) failed"
+  exit 1
+fi
+echo "all CLI error-channel checks passed"

@@ -118,8 +118,13 @@ TEST(Oms, HybridLayersReduceScoringWork) {
                                 topo, hybrid);
   const StreamResult r_hybrid = run_one_pass(g, oms_hybrid, 1);
 
-  // Hashed layers do not visit neighbors: 1 of 3 layers remains.
-  EXPECT_EQ(r_hybrid.work.neighbor_visits * 3, r_full.work.neighbor_visits);
+  // Hashed layers do not visit neighbors, so the hybrid run pays only the
+  // top-layer gather (one full neighbor scan). The full run pays that scan
+  // plus the shrinking frontier on the two deeper layers — more than the
+  // hybrid but at most the pre-frontier 3x bound.
+  EXPECT_GE(r_full.work.neighbor_visits, r_hybrid.work.neighbor_visits);
+  EXPECT_LE(r_full.work.neighbor_visits, 3 * r_hybrid.work.neighbor_visits);
+  EXPECT_EQ(r_hybrid.work.neighbor_visits, g.num_arcs());
   EXPECT_LT(r_hybrid.work.score_evaluations, r_full.work.score_evaluations);
   // Quality degrades (Theorem 3's trade-off) but balance must hold.
   verify_partition(g, r_hybrid.assignment, topo.num_pes());
@@ -175,7 +180,11 @@ TEST(NhOms, WorkCountersMatchTheoremFourShape) {
   EXPECT_EQ(height, 3u); // 4^3 = 64
   EXPECT_LE(r.work.score_evaluations,
             static_cast<std::uint64_t>(g.num_nodes()) * 4 * height);
-  EXPECT_EQ(r.work.neighbor_visits, g.num_arcs() * height);
+  // The shrinking-frontier gather scans every arc once at the top layer and
+  // only surviving (already-assigned, same-subtree) pairs below, so neighbor
+  // work sits between m and Theorem 2's m * l bound.
+  EXPECT_GE(r.work.neighbor_visits, g.num_arcs());
+  EXPECT_LE(r.work.neighbor_visits, g.num_arcs() * height);
   EXPECT_EQ(r.work.layers_traversed,
             static_cast<std::uint64_t>(g.num_nodes()) * height);
 }
@@ -200,10 +209,13 @@ TEST(Oms, StateBytesIsOrderNPlusK) {
   const NodeId n = 50000;
   const SystemHierarchy topo = SystemHierarchy::parse("4:16:8", "1:10:100");
   OnlineMultisection oms(n, 100000, n, topo, default_config());
-  // Theorem 1: O(n + k) memory; the tree adds a small constant per block.
+  // Theorem 1: O(n + k) memory. The per-block constant covers one padded
+  // cache line of weight (contention-free layout) plus the tree block with
+  // its precomputed descent accelerators; Lemma 1 bounds the tree at 2k
+  // blocks.
   const std::uint64_t k = static_cast<std::uint64_t>(topo.num_pes());
   EXPECT_LE(oms.state_bytes(),
-            n * sizeof(BlockId) + 2 * k * (sizeof(NodeWeight) + 64));
+            n * sizeof(BlockId) + 2 * k * (64 + sizeof(MultisectionTree::Block)));
 }
 
 TEST(Oms, UnassignRemovesWeightAlongFullPath) {

@@ -122,6 +122,50 @@ TEST(BlockWeights, ConcurrentIncrementsAreLossless) {
   EXPECT_EQ(w.load(1), 50000);
 }
 
+TEST(BlockWeights, SetLayoutPreservesValues) {
+  BlockWeights w(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    w.add(i, static_cast<NodeWeight>(10 * i + 1));
+  }
+  const std::uint64_t dense_bytes = w.footprint_bytes();
+  w.set_layout(BlockWeights::Layout::kPadded);
+  EXPECT_EQ(w.footprint_bytes(), dense_bytes * 8); // one cache line per slot
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(w.load(i), static_cast<NodeWeight>(10 * i + 1));
+  }
+  EXPECT_EQ(w.total(), 1 + 11 + 21 + 31 + 41);
+  w.set_layout(BlockWeights::Layout::kDense);
+  EXPECT_EQ(w.footprint_bytes(), dense_bytes);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(w.load(i), static_cast<NodeWeight>(10 * i + 1));
+  }
+}
+
+TEST(BlockWeights, ViewsMatchGenericAccessors) {
+  BlockWeights w(4, BlockWeights::Layout::kPadded);
+  const auto padded = w.view<BlockWeights::Layout::kPadded>();
+  padded.add(2, 7);
+  padded.add(3, 9);
+  EXPECT_EQ(w.load(2), 7);
+  EXPECT_EQ(padded.load(3), 9);
+  w.set_layout(BlockWeights::Layout::kDense);
+  const auto dense = w.view<BlockWeights::Layout::kDense>();
+  EXPECT_EQ(dense.load(2), 7);
+  dense.add(2, -7);
+  EXPECT_EQ(w.load(2), 0);
+}
+
+TEST(BlockWeights, ConcurrentIncrementsAreLosslessWhenPadded) {
+  BlockWeights w(3, BlockWeights::Layout::kPadded);
+#pragma omp parallel for num_threads(8)
+  for (int i = 0; i < 90000; ++i) {
+    w.add(static_cast<std::size_t>(i % 3), 1);
+  }
+  EXPECT_EQ(w.load(0), 30000);
+  EXPECT_EQ(w.load(1), 30000);
+  EXPECT_EQ(w.load(2), 30000);
+}
+
 TEST(MetisStream, HeaderAndNodeCount) {
   const CsrGraph g = gen::grid_2d(10, 10);
   const std::string path = ::testing::TempDir() + "/oms_stream_test.graph";

@@ -1,0 +1,68 @@
+/// \file test_fastdiv.cpp
+/// \brief The magic-number reductions must be *exact* — the descent swaps
+///        them in for `/` and `%` on the assumption that no input ever
+///        rounds differently. Sweep the divisor/dividend shapes the tree
+///        produces plus adversarial corners near the magic's rounding.
+#include "oms/util/fastdiv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "oms/util/random.hpp"
+#include "tests/test_support.hpp"
+
+namespace oms {
+namespace {
+
+TEST(FastDiv32, ExactForSmallDivisorsExhaustively) {
+  for (std::uint32_t d = 1; d <= 64; ++d) {
+    const FastDiv32 div = FastDiv32::of(d);
+    for (std::uint32_t n = 0; n < 3000; ++n) {
+      ASSERT_EQ(div.divide(n), n / d) << "n=" << n << " d=" << d;
+    }
+    // The paper's trees only divide leaf offsets, but the magic must hold
+    // over the whole 32-bit dividend range.
+    for (const std::uint32_t n :
+         {0x7fffffffU, 0x80000000U, 0xfffffffeU, 0xffffffffU}) {
+      ASSERT_EQ(div.divide(n), n / d) << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(FastDiv32, ExactOnRandomPairs) {
+  Rng rng(oms::testing::test_seed());
+  for (int i = 0; i < 200000; ++i) {
+    const auto d = static_cast<std::uint32_t>(1 + rng.next_below(1u << 20));
+    const auto n = static_cast<std::uint32_t>(rng.next_below(1ull << 32));
+    const FastDiv32 div = FastDiv32::of(d);
+    ASSERT_EQ(div.divide(n), n / d) << "n=" << n << " d=" << d;
+  }
+}
+
+TEST(FastMod64, ExactForSmallDivisorsOnWideDividends) {
+  Rng rng(oms::testing::test_seed() + 1);
+  for (std::uint32_t d = 1; d <= 96; ++d) {
+    const FastMod64 mod = FastMod64::of(d);
+    for (int i = 0; i < 5000; ++i) {
+      const std::uint64_t n = rng();
+      ASSERT_EQ(mod.mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+    for (const std::uint64_t n : {std::uint64_t{0}, std::uint64_t{1},
+                                  ~std::uint64_t{0}, ~std::uint64_t{0} - 1}) {
+      ASSERT_EQ(mod.mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(FastMod64, ExactOnRandomDivisors) {
+  Rng rng(oms::testing::test_seed() + 2);
+  for (int i = 0; i < 100000; ++i) {
+    const auto d = static_cast<std::uint32_t>(
+        1 + rng.next_below((1ull << 32) - 1));
+    const std::uint64_t n = rng();
+    const FastMod64 mod = FastMod64::of(d);
+    ASSERT_EQ(mod.mod(n), n % d) << "n=" << n << " d=" << d;
+  }
+}
+
+} // namespace
+} // namespace oms
