@@ -8,11 +8,16 @@
 ///                  [--hierarchy 4:16:2 --distances 1:10:100]
 ///                  [--epsilon 0.03] [--threads 1] [--seed 1]
 ///                  [--output partition.txt] [--from-disk]
+///                  [--pipeline] [--io-threads 1]
 ///
 /// With --hierarchy the tool solves process mapping (OMS) and reports J;
 /// without it, plain k-way partitioning. --from-disk streams the file node
 /// by node without ever materializing the graph (O(n + k) memory; one-pass
 /// algorithms only). window/buffered use the in-memory graph for lookahead.
+/// --pipeline (implies --from-disk) overlaps parsing with assignment: a
+/// dedicated reader thread parses batches while --io-threads consumer
+/// threads assign them (1, the default, keeps the sequential stream order
+/// bit-for-bit).
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -32,6 +37,7 @@
 #include "oms/partition/ldg.hpp"
 #include "oms/partition/metrics.hpp"
 #include "oms/stream/metis_stream.hpp"
+#include "oms/stream/pipeline.hpp"
 #include "oms/stream/window_partitioner.hpp"
 #include "oms/util/io_error.hpp"
 #include "oms/util/memory.hpp"
@@ -50,6 +56,8 @@ struct Options {
   std::uint64_t seed = 1;
   std::string output;
   bool from_disk = false;
+  bool pipeline = false;
+  int io_threads = 1;
 };
 
 [[noreturn]] void usage(int exit_code = 2) {
@@ -59,7 +67,8 @@ struct Options {
          "                      [--hierarchy a1:a2:... --distances "
          "d1:d2:...]\n"
          "                      [--epsilon E] [--threads T] [--seed S]\n"
-         "                      [--output FILE] [--from-disk]\n";
+         "                      [--output FILE] [--from-disk]\n"
+         "                      [--pipeline] [--io-threads T]\n";
   std::exit(exit_code);
 }
 
@@ -139,6 +148,11 @@ Options parse_args(int argc, char** argv) {
       opt.output = value();
     } else if (arg == "--from-disk") {
       opt.from_disk = true;
+    } else if (arg == "--pipeline") {
+      opt.pipeline = true;
+      opt.from_disk = true;
+    } else if (arg == "--io-threads") {
+      opt.io_threads = int_value();
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -221,11 +235,12 @@ int run_tool(Options opt) {
     std::cerr << "error: --algo " << opt.algo << " is incompatible with --from-disk\n";
     return 2;
   }
-  // Both loaders OMS_ASSERT on unopenable files; a bad path deserves a clean
-  // CLI error, not an assertion abort. Directories open "successfully" on
-  // Linux, so reject them explicitly. FIFOs (process substitution, mkfifo
-  // pipelines) must NOT be probe-opened — the open/close would SIGPIPE the
-  // writer — so only regular files get the readability probe.
+  // The loaders raise IoError on unopenable files, but a bad path deserves
+  // the usage-level exit code (2), not the malformed-content one (1).
+  // Directories open "successfully" on Linux, so reject them explicitly.
+  // FIFOs (process substitution, mkfifo pipelines) must NOT be probe-opened —
+  // the open/close would SIGPIPE the writer — so only regular files get the
+  // readability probe.
   std::error_code fs_error;
   const std::filesystem::file_status graph_status =
       std::filesystem::status(opt.graph_path, fs_error);
@@ -247,7 +262,12 @@ int run_tool(Options opt) {
   if (opt.from_disk) {
     if (opt.threads > 1) {
       std::cerr << "note: the disk stream is sequential; ignoring --threads "
-                << opt.threads << "\n";
+                << opt.threads << " (use --pipeline --io-threads for "
+                   "parse/assign overlap)\n";
+    }
+    if (opt.io_threads < 0) {
+      std::cerr << "error: --io-threads must be >= 0 (0 = all hardware threads)\n";
+      return 2;
     }
     // True streaming: only the header is read ahead of time. Capacity bounds
     // assume unit node weights (total = n), which the header lets us check.
@@ -260,9 +280,16 @@ int run_tool(Options opt) {
     }
     auto assigner = make_assigner(opt, header.num_nodes, header.num_edges,
                                   static_cast<NodeWeight>(header.num_nodes));
-    result = run_one_pass_from_file(opt.graph_path, *assigner);
+    if (opt.pipeline) {
+      PipelineConfig pipeline;
+      pipeline.assign_threads = opt.io_threads;
+      result = run_one_pass_from_file(opt.graph_path, *assigner, pipeline);
+    } else {
+      result = run_one_pass_from_file(opt.graph_path, *assigner);
+    }
     std::cout << "streamed " << header.num_nodes << " nodes from disk"
-              << " (peak RSS " << peak_rss_bytes() / (1024 * 1024) << " MB)\n";
+              << (opt.pipeline ? " (pipelined)" : "") << " (peak RSS "
+              << peak_rss_bytes() / (1024 * 1024) << " MB)\n";
     std::cout << "assignment time: " << result.elapsed_s << " s (total "
               << total.elapsed_s() << " s)\n";
   } else {

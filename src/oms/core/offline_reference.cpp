@@ -17,7 +17,7 @@ std::vector<BlockId> OnlineMultisection::run_offline_multipass(const CsrGraph& g
                  "graph does not match the assigner's node count");
   // Reset all streaming state.
   weights_.reset();
-  std::fill(assignment_.begin(), assignment_.end(), kInvalidBlock);
+  assignment_.fill(kInvalidBlock);
   prepare(1);
   auto& gathered = scratch_.front().gathered;
   WorkCounters counters;
@@ -69,7 +69,7 @@ std::vector<BlockId> OnlineMultisection::run_offline_multipass(const CsrGraph& g
     const MultisectionTree::Block& leaf = tree_.block(current_block[u]);
     OMS_ASSERT_MSG(leaf.is_leaf(), "node did not reach a leaf");
     result[u] = leaf.leaf_begin;
-    assignment_[u] = result[u];
+    assignment_.store(u, result[u]);
   }
   return result;
 }

@@ -45,7 +45,7 @@ OnlineMultisection::OnlineMultisection(NodeId num_nodes, EdgeIndex num_edges,
     : tree_(make_finalized_tree(std::move(tree), num_nodes, num_edges,
                                 total_node_weight, config)),
       config_(config),
-      assignment_(num_nodes, kInvalidBlock),
+      assignment_(num_nodes),
       weights_(tree_.num_blocks()),
       sqrt_(tree_.root().capacity) {
   for (std::size_t id = 0; id < tree_.num_blocks(); ++id) {
@@ -112,7 +112,7 @@ BlockId OnlineMultisection::assign_impl(WeightsView weights, const StreamedNode&
         }
         counters.neighbor_visits += degree;
         for (std::size_t i = 0; i < degree; ++i) {
-          const BlockId leaf = assignment_[node.neighbors[i]];
+          const BlockId leaf = assignment_.load(node.neighbors[i]);
           if (leaf == kInvalidBlock || leaf < parent.leaf_begin ||
               leaf >= parent.leaf_end) {
             continue; // unassigned, or assigned outside this subtree
@@ -153,7 +153,7 @@ BlockId OnlineMultisection::assign_impl(WeightsView weights, const StreamedNode&
   }
 
   const BlockId final_block = tree_.block(current).leaf_begin;
-  assignment_[node.id] = final_block;
+  assignment_.store(node.id, final_block);
   return final_block;
 }
 
@@ -265,20 +265,20 @@ OnlineMultisection::pick_child(BlockWeights::View<BlockWeights::Layout::kDense>,
                                std::int32_t*, WorkCounters&) const;
 
 void OnlineMultisection::unassign(NodeId u, NodeWeight weight) {
-  const BlockId leaf = assignment_[u];
+  const BlockId leaf = assignment_.load(u);
   OMS_ASSERT_MSG(leaf != kInvalidBlock, "unassign of a never-assigned node");
   std::size_t id = tree_.leaf_block_id(leaf);
   while (tree_.block(id).parent >= 0) {
     weights_.add(id, -weight);
     id = static_cast<std::size_t>(tree_.block(id).parent);
   }
-  assignment_[u] = kInvalidBlock;
+  assignment_.store(u, kInvalidBlock);
 }
 
 std::uint64_t OnlineMultisection::state_bytes() const noexcept {
-  return static_cast<std::uint64_t>(assignment_.capacity() * sizeof(BlockId) +
-                                    weights_.footprint_bytes() +
-                                    tree_.num_blocks() * sizeof(MultisectionTree::Block));
+  return assignment_.footprint_bytes() + weights_.footprint_bytes() +
+         static_cast<std::uint64_t>(tree_.num_blocks() *
+                                    sizeof(MultisectionTree::Block));
 }
 
 } // namespace oms

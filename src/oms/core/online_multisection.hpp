@@ -24,6 +24,7 @@
 #include "oms/mapping/hierarchy.hpp"
 #include "oms/stream/block_weights.hpp"
 #include "oms/stream/one_pass_driver.hpp"
+#include "oms/util/assignment_array.hpp"
 #include "oms/util/sqrt_cache.hpp"
 
 namespace oms {
@@ -43,12 +44,14 @@ public:
   void prepare(int num_threads) override;
   BlockId assign(const StreamedNode& node, int thread_id,
                  WorkCounters& counters) override;
-  [[nodiscard]] BlockId block_of(NodeId u) const override { return assignment_[u]; }
+  [[nodiscard]] BlockId block_of(NodeId u) const override {
+    return assignment_.load(u);
+  }
   [[nodiscard]] BlockId num_blocks() const override {
     return tree_.num_final_blocks();
   }
   [[nodiscard]] std::vector<BlockId> take_assignment() override {
-    return std::move(assignment_);
+    return assignment_.take();
   }
 
   // --- introspection ----------------------------------------------------
@@ -115,7 +118,7 @@ private:
 
   MultisectionTree tree_;
   OmsConfig config_;
-  std::vector<BlockId> assignment_;
+  AssignmentArray assignment_;
   BlockWeights weights_; // one per tree block, atomics (Section 3.4)
   SqrtCache sqrt_; // covers [0, root capacity]: every Fennel penalty argument
   std::vector<DescentScratch> scratch_; // per thread

@@ -3,23 +3,39 @@
 #include <charconv>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string_view>
 #include <vector>
 
 #include "oms/graph/graph_builder.hpp"
 #include "oms/util/assert.hpp"
+#include "oms/util/io_error.hpp"
 
 namespace oms {
 namespace {
+
+/// Input defects (malformed bytes, truncation, unopenable paths) raise
+/// IoError with the file position so CLIs fail cleanly; OMS_ASSERT remains
+/// only on the *write* side, where a failure means a broken environment, not
+/// broken user input.
+[[noreturn]] void io_fail(const std::string& path, std::uint64_t line_no,
+                          const std::string& message) {
+  if (line_no == 0) {
+    throw IoError(path + ": " + message);
+  }
+  throw IoError(path + ":" + std::to_string(line_no) + ": " + message);
+}
 
 /// Incremental whitespace-separated integer scanner over one line.
 class LineTokens {
 public:
   explicit LineTokens(std::string_view line) noexcept : rest_(line) {}
 
-  /// Next integer token; false when the line is exhausted.
-  bool next(std::int64_t& out) {
+  /// Next integer token; false when the line is exhausted. \p on_error is
+  /// invoked (and must not return) on a malformed token.
+  template <typename OnError>
+  bool next(std::int64_t& out, OnError&& on_error) {
     while (!rest_.empty() && (rest_.front() == ' ' || rest_.front() == '\t' ||
                               rest_.front() == '\r')) {
       rest_.remove_prefix(1);
@@ -28,7 +44,9 @@ public:
       return false;
     }
     const auto [ptr, ec] = std::from_chars(rest_.data(), rest_.data() + rest_.size(), out);
-    OMS_ASSERT_MSG(ec == std::errc{}, "malformed integer token in graph file");
+    if (ec != std::errc{}) {
+      on_error();
+    }
     rest_.remove_prefix(static_cast<std::size_t>(ptr - rest_.data()));
     return true;
   }
@@ -38,8 +56,9 @@ private:
 };
 
 /// Header lookup: skip comments *and* blank lines.
-bool next_content_line(std::istream& in, std::string& line) {
+bool next_content_line(std::istream& in, std::string& line, std::uint64_t& line_no) {
   while (std::getline(in, line)) {
+    ++line_no;
     if (!line.empty() && line.front() != '%') {
       return true;
     }
@@ -50,8 +69,9 @@ bool next_content_line(std::istream& in, std::string& line) {
 /// Data lines: skip only comments — an *empty* line is an isolated node and
 /// must consume its slot, otherwise every following adjacency list would
 /// shift onto the wrong node.
-bool next_data_line(std::istream& in, std::string& line) {
+bool next_data_line(std::istream& in, std::string& line, std::uint64_t& line_no) {
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line.front() != '%') {
       return true;
     }
@@ -106,40 +126,76 @@ void write_metis(const CsrGraph& graph, const std::string& path) {
 
 CsrGraph read_metis(const std::string& path) {
   std::ifstream in(path);
-  OMS_ASSERT_MSG(in.good(), "cannot open graph file");
+  if (!in.good()) {
+    throw IoError("cannot open graph file '" + path + "'");
+  }
 
+  std::uint64_t line_no = 0;
   std::string line;
-  OMS_ASSERT_MSG(next_content_line(in, line), "missing METIS header");
+  if (!next_content_line(in, line, line_no)) {
+    io_fail(path, line_no, "missing METIS header");
+  }
+  const auto bad_header = [&] { io_fail(path, line_no, "malformed METIS header"); };
   LineTokens header(line);
   std::int64_t n = 0;
   std::int64_t m = 0;
   std::int64_t fmt = 0;
-  OMS_ASSERT_MSG(header.next(n) && header.next(m), "malformed METIS header");
-  header.next(fmt); // optional
-  OMS_ASSERT_MSG(n >= 0 && m >= 0, "negative sizes in METIS header");
+  if (!header.next(n, bad_header) || !header.next(m, bad_header)) {
+    bad_header();
+  }
+  header.next(fmt, bad_header); // optional
+  if (n < 0 || m < 0) {
+    io_fail(path, line_no, "negative sizes in METIS header");
+  }
+  if (n > static_cast<std::int64_t>(std::numeric_limits<NodeId>::max())) {
+    io_fail(path, line_no,
+            "node count " + std::to_string(n) + " exceeds the supported maximum");
+  }
   const bool has_edge_weights = (fmt % 10) == 1;
   const bool has_node_weights = (fmt / 10 % 10) == 1;
-  OMS_ASSERT_MSG(fmt / 100 % 10 == 0, "multi-weight METIS files are not supported");
+  if (fmt / 100 != 0) {
+    io_fail(path, line_no, "multi-constraint METIS files are unsupported");
+  }
+  // Same header contract as the streaming reader (metis_stream.cpp): an
+  // optional 4th token is the constraint count, and only 1 is workable —
+  // silently consuming one weight per node and parsing the rest as neighbor
+  // ids would corrupt the graph, not reject it.
+  std::int64_t ncon = 1;
+  if (header.next(ncon, bad_header) && ncon != 1) {
+    io_fail(path, line_no, "multi-constraint METIS files are unsupported");
+  }
+  std::int64_t junk = 0;
+  if (header.next(junk, bad_header)) {
+    io_fail(path, line_no, "trailing tokens in METIS header");
+  }
 
   GraphBuilder builder(static_cast<NodeId>(n));
+  const auto bad_token = [&] { io_fail(path, line_no, "malformed integer token"); };
   for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
     // Missing trailing lines mean isolated nodes; treat EOF as empty lines.
-    if (!next_data_line(in, line)) {
+    if (!next_data_line(in, line, line_no)) {
       break;
     }
     LineTokens tokens(line);
     std::int64_t value = 0;
     if (has_node_weights) {
-      OMS_ASSERT_MSG(tokens.next(value), "missing node weight");
+      if (!tokens.next(value, bad_token)) {
+        io_fail(path, line_no, "missing node weight");
+      }
       builder.set_node_weight(u, value);
     }
-    while (tokens.next(value)) {
-      OMS_ASSERT_MSG(value >= 1 && value <= n, "neighbor id out of range");
+    while (tokens.next(value, bad_token)) {
+      if (value < 1 || value > n) {
+        io_fail(path, line_no, "neighbor id " + std::to_string(value) +
+                                   " out of range [1, " + std::to_string(n) + "]");
+      }
       const auto v = static_cast<NodeId>(value - 1);
       EdgeWeight w = 1;
       if (has_edge_weights) {
         std::int64_t wt = 0;
-        OMS_ASSERT_MSG(tokens.next(wt), "missing edge weight");
+        if (!tokens.next(wt, bad_token)) {
+          io_fail(path, line_no, "missing edge weight");
+        }
         w = wt;
       }
       // METIS lists every edge from both endpoints; record the canonical
@@ -150,8 +206,12 @@ CsrGraph read_metis(const std::string& path) {
     }
   }
   CsrGraph graph = std::move(builder).build();
-  OMS_ASSERT_MSG(graph.num_edges() == static_cast<EdgeIndex>(m),
-                 "edge count disagrees with METIS header");
+  if (graph.num_edges() != static_cast<EdgeIndex>(m)) {
+    io_fail(path, 0,
+            "edge count disagrees with METIS header (header says " +
+                std::to_string(m) + ", file has " +
+                std::to_string(graph.num_edges()) + ")");
+  }
   return graph;
 }
 
@@ -176,18 +236,41 @@ void write_binary(const CsrGraph& graph, const std::string& path) {
 
 CsrGraph read_binary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  OMS_ASSERT_MSG(in.good(), "cannot open graph file");
+  if (!in.good()) {
+    throw IoError("cannot open graph file '" + path + "'");
+  }
   std::uint64_t magic = 0;
   std::uint64_t n = 0;
   std::uint64_t arcs = 0;
-  const auto read_raw = [&in](void* data, std::size_t bytes) {
+  const auto read_raw = [&in, &path](void* data, std::size_t bytes) {
     in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
-    OMS_ASSERT_MSG(in.good(), "truncated binary graph file");
+    if (!in.good()) {
+      io_fail(path, 0, "truncated binary graph file");
+    }
   };
   read_raw(&magic, sizeof magic);
-  OMS_ASSERT_MSG(magic == 0x4f4d5347'52415031ULL, "bad magic in binary graph file");
+  if (magic != 0x4f4d5347'52415031ULL) {
+    io_fail(path, 0, "bad magic in binary graph file");
+  }
   read_raw(&n, sizeof n);
   read_raw(&arcs, sizeof arcs);
+  // Sanity-check the advertised sizes against the actual payload before
+  // allocating: a corrupt header must raise IoError, not bad_alloc. The 2^48
+  // ceiling keeps the expected-bytes arithmetic below from wrapping.
+  if (n >= (std::uint64_t{1} << 48) || arcs >= (std::uint64_t{1} << 48)) {
+    io_fail(path, 0, "implausible sizes in binary graph header");
+  }
+  const auto payload_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto file_end = in.tellg();
+  in.seekg(payload_start);
+  const std::uint64_t expected_bytes =
+      (n + 1) * sizeof(EdgeIndex) + arcs * sizeof(NodeId) +
+      arcs * sizeof(EdgeWeight) + n * sizeof(NodeWeight);
+  if (n > static_cast<std::uint64_t>(std::numeric_limits<NodeId>::max()) ||
+      static_cast<std::uint64_t>(file_end - payload_start) < expected_bytes) {
+    io_fail(path, 0, "truncated binary graph file");
+  }
   std::vector<EdgeIndex> xadj(n + 1);
   std::vector<NodeId> adjncy(arcs);
   std::vector<EdgeWeight> adjwgt(arcs);

@@ -16,12 +16,15 @@ namespace oms {
 void write_metis(const CsrGraph& graph, const std::string& path);
 
 /// Read a METIS file produced by write_metis (or any well-formed METIS graph
-/// with fmt in {"", "0", "1", "10", "11", "100", "101", "110", "111"}).
-/// Comment lines (%) are skipped. Aborts with a diagnostic on malformed input.
+/// with fmt in {"", "0", "1", "10", "11"}). Comment lines (%) are skipped.
+/// Throws oms::IoError (with file:line position) on unopenable paths and
+/// malformed content — bad header, non-numeric token, out-of-range neighbor,
+/// missing weight, edge count disagreeing with the header.
 [[nodiscard]] CsrGraph read_metis(const std::string& path);
 
 /// Compact binary round-trip (little-endian host assumed; this is a cache
-/// format, not an interchange format).
+/// format, not an interchange format). read_binary throws oms::IoError on
+/// unopenable paths, bad magic, implausible sizes, and truncation.
 void write_binary(const CsrGraph& graph, const std::string& path);
 [[nodiscard]] CsrGraph read_binary(const std::string& path);
 

@@ -10,7 +10,14 @@ namespace oms {
 Cost mapping_cost(const CsrGraph& graph, const SystemHierarchy& topology,
                   std::span<const BlockId> mapping, int num_threads) {
   OMS_ASSERT(mapping.size() == graph.num_nodes());
+#if defined(OMS_TSAN_ACTIVE)
+  // Read-only fan-out: under TSan the OMP fork/join would false-positive
+  // (see parallel.hpp), so evaluate sequentially.
+  (void)num_threads;
+  const int threads = 1;
+#else
   const int threads = resolve_threads(num_threads);
+#endif
   const auto n = static_cast<std::int64_t>(graph.num_nodes());
   Cost total = 0;
 

@@ -25,7 +25,7 @@ FennelPartitioner::FennelPartitioner(NodeId num_nodes, NodeWeight total_node_wei
       // fit the 32-bit half of its scan key.
       sparse_scan_(tuned_gamma_ && params.alpha > 0 &&
                    max_block_weight_ < (NodeWeight{1} << 31)),
-      assignment_(num_nodes, kInvalidBlock),
+      assignment_(num_nodes),
       weights_(static_cast<std::size_t>(config.k)),
       sqrt_(tuned_gamma_ ? max_block_weight_ : NodeWeight{-1}) {
   OMS_ASSERT(config.k >= 1);
@@ -46,7 +46,7 @@ BlockId FennelPartitioner::assign(const StreamedNode& node, int thread_id,
 
   for (std::size_t i = 0; i < node.neighbors.size(); ++i) {
     counters.neighbor_visits += 1;
-    const BlockId nb = assignment_[node.neighbors[i]];
+    const BlockId nb = assignment_.load(node.neighbors[i]);
     if (nb == kInvalidBlock) {
       continue;
     }
@@ -121,21 +121,21 @@ BlockId FennelPartitioner::assign(const StreamedNode& node, int thread_id,
   scratch.touched.clear();
 
   weights_.add(static_cast<std::size_t>(best), node.weight);
-  assignment_[node.id] = best;
+  assignment_.store(node.id, best);
   counters.layers_traversed += 1;
   return best;
 }
 
 void FennelPartitioner::unassign(NodeId u, NodeWeight weight) {
-  const BlockId b = assignment_[u];
+  const BlockId b = assignment_.load(u);
   OMS_ASSERT_MSG(b != kInvalidBlock, "unassign of a never-assigned node");
   weights_.add(static_cast<std::size_t>(b), -weight);
-  assignment_[u] = kInvalidBlock;
+  assignment_.store(u, kInvalidBlock);
 }
 
 std::uint64_t FennelPartitioner::state_bytes() const noexcept {
-  return static_cast<std::uint64_t>(assignment_.capacity() * sizeof(BlockId) +
-                                    weights_.size() * sizeof(NodeWeight));
+  return assignment_.footprint_bytes() +
+         static_cast<std::uint64_t>(weights_.size() * sizeof(NodeWeight));
 }
 
 } // namespace oms

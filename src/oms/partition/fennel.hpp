@@ -11,6 +11,7 @@
 #include "oms/partition/partition_config.hpp"
 #include "oms/stream/block_weights.hpp"
 #include "oms/stream/one_pass_driver.hpp"
+#include "oms/util/assignment_array.hpp"
 #include "oms/util/sqrt_cache.hpp"
 
 namespace oms {
@@ -27,10 +28,12 @@ public:
   void prepare(int num_threads) override;
   BlockId assign(const StreamedNode& node, int thread_id,
                  WorkCounters& counters) override;
-  [[nodiscard]] BlockId block_of(NodeId u) const override { return assignment_[u]; }
+  [[nodiscard]] BlockId block_of(NodeId u) const override {
+    return assignment_.load(u);
+  }
   [[nodiscard]] BlockId num_blocks() const override { return config_.k; }
   [[nodiscard]] std::vector<BlockId> take_assignment() override {
-    return std::move(assignment_);
+    return assignment_.take();
   }
 
   [[nodiscard]] const FennelParams& params() const noexcept { return params_; }
@@ -55,7 +58,7 @@ private:
   double penalty_factor_;
   bool tuned_gamma_; ///< gamma == 3/2: penalty is penalty_factor_ * sqrt(w)
   bool sparse_scan_; ///< exact sparse-candidate scan applicable (see assign)
-  std::vector<BlockId> assignment_;
+  AssignmentArray assignment_;
   BlockWeights weights_;
   SqrtCache sqrt_; ///< covers [0, max_block_weight_]
   std::vector<Scratch> scratch_;

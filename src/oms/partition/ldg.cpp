@@ -6,7 +6,7 @@ LdgPartitioner::LdgPartitioner(NodeId num_nodes, NodeWeight total_node_weight,
                                const PartitionConfig& config)
     : config_(config),
       max_block_weight_(max_block_weight(total_node_weight, config.k, config.epsilon)),
-      assignment_(num_nodes, kInvalidBlock),
+      assignment_(num_nodes),
       weights_(static_cast<std::size_t>(config.k)) {
   OMS_ASSERT(config.k >= 1);
 }
@@ -26,7 +26,7 @@ BlockId LdgPartitioner::assign(const StreamedNode& node, int thread_id,
   // Gather the weight of already-assigned neighbors per block.
   for (std::size_t i = 0; i < node.neighbors.size(); ++i) {
     counters.neighbor_visits += 1;
-    const BlockId nb = assignment_[node.neighbors[i]];
+    const BlockId nb = assignment_.load(node.neighbors[i]);
     if (nb == kInvalidBlock) {
       continue;
     }
@@ -80,14 +80,14 @@ BlockId LdgPartitioner::assign(const StreamedNode& node, int thread_id,
   scratch.touched.clear();
 
   weights_.add(static_cast<std::size_t>(best), node.weight);
-  assignment_[node.id] = best;
+  assignment_.store(node.id, best);
   counters.layers_traversed += 1;
   return best;
 }
 
 std::uint64_t LdgPartitioner::state_bytes() const noexcept {
-  return static_cast<std::uint64_t>(assignment_.capacity() * sizeof(BlockId) +
-                                    weights_.size() * sizeof(NodeWeight));
+  return assignment_.footprint_bytes() +
+         static_cast<std::uint64_t>(weights_.size() * sizeof(NodeWeight));
 }
 
 } // namespace oms

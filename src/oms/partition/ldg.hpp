@@ -9,6 +9,7 @@
 #include "oms/partition/partition_config.hpp"
 #include "oms/stream/block_weights.hpp"
 #include "oms/stream/one_pass_driver.hpp"
+#include "oms/util/assignment_array.hpp"
 
 namespace oms {
 
@@ -20,10 +21,12 @@ public:
   void prepare(int num_threads) override;
   BlockId assign(const StreamedNode& node, int thread_id,
                  WorkCounters& counters) override;
-  [[nodiscard]] BlockId block_of(NodeId u) const override { return assignment_[u]; }
+  [[nodiscard]] BlockId block_of(NodeId u) const override {
+    return assignment_.load(u);
+  }
   [[nodiscard]] BlockId num_blocks() const override { return config_.k; }
   [[nodiscard]] std::vector<BlockId> take_assignment() override {
-    return std::move(assignment_);
+    return assignment_.take();
   }
 
   [[nodiscard]] std::uint64_t state_bytes() const noexcept;
@@ -36,7 +39,7 @@ private:
 
   PartitionConfig config_;
   NodeWeight max_block_weight_;
-  std::vector<BlockId> assignment_;
+  AssignmentArray assignment_;
   BlockWeights weights_;
   std::vector<Scratch> scratch_;
 };

@@ -178,7 +178,8 @@ void MetisNodeStream::read_header() {
   header_line_no_ = line_no_;
 }
 
-bool MetisNodeStream::next(StreamedNode& out) {
+bool MetisNodeStream::parse_next(NodeWeight& weight, std::vector<NodeId>& neighbors,
+                                 std::vector<EdgeWeight>& edge_weights) {
   if (next_id_ >= header_.num_nodes) {
     return false;
   }
@@ -191,21 +192,19 @@ bool MetisNodeStream::next(StreamedNode& out) {
     }
     line = std::string_view();
   }
-  neighbor_buffer_.clear();
-  weight_buffer_.clear();
-  NodeWeight node_weight = 1;
+  weight = 1;
   Tokens tokens(line);
   const auto bad_token = [this] { fail("malformed integer token"); };
   std::int64_t value = 0;
   if (header_.has_node_weights && tokens.next(value, bad_token)) {
-    node_weight = value;
+    weight = value;
   }
   while (tokens.next(value, bad_token)) {
     if (value < 1 || value > static_cast<std::int64_t>(header_.num_nodes)) {
       fail("neighbor id " + std::to_string(value) + " out of range [1, " +
            std::to_string(header_.num_nodes) + "]");
     }
-    neighbor_buffer_.push_back(static_cast<NodeId>(value - 1));
+    neighbors.push_back(static_cast<NodeId>(value - 1));
     EdgeWeight w = 1;
     if (header_.has_edge_weights) {
       std::int64_t wt = 1;
@@ -214,11 +213,36 @@ bool MetisNodeStream::next(StreamedNode& out) {
       }
       w = wt;
     }
-    weight_buffer_.push_back(w);
+    edge_weights.push_back(w);
   }
-  out = StreamedNode{next_id_, node_weight, neighbor_buffer_, weight_buffer_};
   ++next_id_;
   return true;
+}
+
+bool MetisNodeStream::next(StreamedNode& out) {
+  neighbor_buffer_.clear();
+  weight_buffer_.clear();
+  NodeWeight node_weight = 1;
+  const NodeId id = next_id_;
+  if (!parse_next(node_weight, neighbor_buffer_, weight_buffer_)) {
+    return false;
+  }
+  out = StreamedNode{id, node_weight, neighbor_buffer_, weight_buffer_};
+  return true;
+}
+
+std::size_t MetisNodeStream::fill_batch(NodeBatch& batch, std::size_t max_nodes,
+                                        std::size_t max_arcs) {
+  batch.reset(next_id_);
+  NodeWeight weight = 1;
+  while (batch.size() < max_nodes &&
+         (max_arcs == 0 || batch.num_arcs() < max_arcs)) {
+    if (!parse_next(weight, batch.neighbor_sink(), batch.edge_weight_sink())) {
+      break;
+    }
+    batch.commit_node(weight);
+  }
+  return batch.size();
 }
 
 void MetisNodeStream::rewind() {

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "oms/stream/node_batch.hpp"
 #include "oms/stream/one_pass_driver.hpp"
 #include "oms/types.hpp"
 #include "oms/util/io_error.hpp"
@@ -57,6 +58,14 @@ public:
   /// \p out remain valid until the next call.
   bool next(StreamedNode& out);
 
+  /// Chunk handoff for the pipelined driver: parse up to \p max_nodes
+  /// consecutive nodes (fewer when \p max_arcs adjacency entries accumulate
+  /// first — hub-heavy regions cap batch memory by arcs, not node count)
+  /// directly into \p batch's flat storage. Returns the number of nodes
+  /// parsed; 0 means the stream is exhausted. \p max_arcs 0 = unbounded.
+  std::size_t fill_batch(NodeBatch& batch, std::size_t max_nodes,
+                         std::size_t max_arcs = 0);
+
   /// Rewind to the first node (used by restreaming).
   void rewind();
 
@@ -66,6 +75,10 @@ private:
   };
 
   void read_header();
+  /// Parse the next data line, appending the adjacency into the given sinks.
+  /// False when all header().num_nodes nodes have been delivered.
+  bool parse_next(NodeWeight& weight, std::vector<NodeId>& neighbors,
+                  std::vector<EdgeWeight>& edge_weights);
   /// Next raw line (without the newline); false at end of file. The view
   /// borrows the read buffer and dies at the next call.
   [[nodiscard]] bool next_line(std::string_view& line);

@@ -1,0 +1,65 @@
+/// \file pipeline.hpp
+/// \brief Pipelined disk streaming: a producer thread parses the METIS file
+///        into reusable NodeBatch buffers while consumer threads run the
+///        one-pass assigner — ingest and assignment overlap instead of
+///        interleaving on one core.
+///
+/// This is the producer/consumer structure of buffered streaming
+/// partitioning (Faraj & Schulz, "Buffered Streaming Graph Partitioning")
+/// applied to the raw ingest path: the sequential driver alternates
+/// parse-a-node / assign-a-node, so disk-backed runs pay parse + assign in
+/// series; the pipeline pays max(parse, assign) plus one batch handoff per
+/// few thousand nodes.
+///
+/// Ordering contract: parse-ahead reorders *work*, never *decisions*. With
+/// one assign thread, batches are consumed strictly in stream order, so the
+/// assignment is bit-identical to run_one_pass_from_file (pinned by the
+/// golden-hash suite). With several assign threads, whole batches are dealt
+/// to threads like the chunked in-memory parallel driver, with the same
+/// Section 3.4 overshoot semantics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "oms/stream/metis_stream.hpp"
+#include "oms/stream/one_pass_driver.hpp"
+
+namespace oms {
+
+/// Tuning knobs for the pipelined file driver. The defaults target "disk
+/// stream with one reader and one assigner": batches big enough to amortize
+/// the queue handoff, a ring deep enough to ride out parse/assign jitter.
+struct PipelineConfig {
+  /// Consumer (assignment) threads. 1 keeps stream order exactly and is
+  /// bit-identical to the sequential driver; >1 trades determinism for
+  /// throughput exactly like run_one_pass(..., num_threads > 1).
+  int assign_threads = 1;
+
+  /// Max nodes per batch. Also the parallel decomposition grain when
+  /// assign_threads > 1 (one batch = one chunk).
+  std::size_t batch_nodes = 4096;
+
+  /// Max adjacency entries per batch: hub-heavy regions close a batch early
+  /// so its memory stays bounded by arcs, not by the degree distribution.
+  /// 0 = no arc cap.
+  std::size_t batch_arcs = 1 << 18;
+
+  /// Batches circulating between the reader and the consumers. Bounds the
+  /// parse-ahead: the reader blocks once this many batches are parsed but
+  /// not yet assigned (backpressure).
+  std::size_t ring_batches = 4;
+
+  /// Raw read chunk of the underlying MetisNodeStream.
+  std::size_t reader_buffer_bytes = MetisNodeStream::kDefaultBufferBytes;
+};
+
+/// Stream \p path through \p assigner with parse/assign overlap. Total
+/// memory beyond the assigner's own state is O(ring_batches * batch size).
+/// IoError raised by the parser mid-stream is rethrown here, on the calling
+/// thread, after all pipeline threads have been joined.
+[[nodiscard]] StreamResult run_one_pass_from_file(const std::string& path,
+                                                  OnePassAssigner& assigner,
+                                                  const PipelineConfig& config);
+
+} // namespace oms

@@ -1,14 +1,35 @@
 /// \file parallel.hpp
-/// \brief Thin OpenMP helpers: hardware thread discovery and a chunked
-///        parallel-for matching the paper's vertex-centric parallelization.
+/// \brief Thin OpenMP helpers (hardware thread discovery, a chunked
+///        parallel-for matching the paper's vertex-centric parallelization)
+///        plus the bounded blocking queue that carries parsed node batches
+///        between the disk-ingest producer and the assignment consumers.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <mutex>
 #include <thread>
+#include <utility>
 
 #include <omp.h>
 
 #include "oms/util/assert.hpp"
+
+/// TSan cannot see the fork/join synchronization inside an uninstrumented
+/// OpenMP runtime (GCC's libgomp), so every parallel region would report
+/// false races between the workers and the code after the implicit barrier.
+/// Under TSan the chunked parallel-for below therefore walks the same chunk
+/// decomposition sequentially (same work, same thread ids handed to the
+/// body, no OMP threads). The std::thread-based pipeline machinery — the
+/// concurrency the TSan CI leg exists to check — stays fully instrumented.
+#if defined(__SANITIZE_THREAD__)
+#define OMS_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define OMS_TSAN_ACTIVE 1
+#endif
+#endif
 
 namespace oms {
 
@@ -45,6 +66,19 @@ void parallel_chunks(std::size_t n, int num_threads, std::size_t chunk_size,
     body(std::size_t{0}, n, 0);
     return;
   }
+#if defined(OMS_TSAN_ACTIVE)
+  {
+    const auto used = static_cast<std::size_t>(threads);
+    const std::size_t chunk =
+        chunk_size > 0 ? chunk_size : (n + used - 1) / used;
+    const std::size_t num_chunks = (n + chunk - 1) / chunk;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t begin = c * chunk;
+      const std::size_t end = begin + chunk < n ? begin + chunk : n;
+      body(begin, end, static_cast<int>(c % used));
+    }
+  }
+#else
 #pragma omp parallel num_threads(threads)
   {
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
@@ -58,6 +92,86 @@ void parallel_chunks(std::size_t n, int num_threads, std::size_t chunk_size,
       body(begin, end, static_cast<int>(tid));
     }
   }
+#endif
 }
+
+/// Bounded blocking FIFO for producer/consumer pipelines (SPSC through MPMC;
+/// every operation is mutex-guarded). Backpressure is built in: push() blocks
+/// while the queue holds \p capacity elements, so a fast disk reader cannot
+/// run arbitrarily far ahead of slow consumers.
+///
+/// Shutdown protocol: close() wakes every blocked thread. A push() on a
+/// closed queue returns false and leaves the value untouched; pop() keeps
+/// draining buffered elements and returns false only once the queue is both
+/// closed and empty. This lets a failing side unblock the other without
+/// losing in-flight work, and is what the streaming pipeline relies on to
+/// surface an IoError raised mid-stream instead of deadlocking.
+template <typename T>
+class BoundedQueue {
+public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    OMS_ASSERT_MSG(capacity > 0, "BoundedQueue needs capacity >= 1");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full; false (value untouched) if the queue is closed.
+  [[nodiscard]] bool push(T&& value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty; false once the queue is closed *and* drained.
+  [[nodiscard]] bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return false;
+    }
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Irreversible; wakes every blocked push() and pop().
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
 
 } // namespace oms

@@ -1,9 +1,8 @@
 #!/usr/bin/env bash
-# CLI error-channel test: malformed METIS *content* on the --from-disk
-# streaming path must make partition_tool exit non-zero with a clean
-# "error:" message — never SIGABRT (exit 134). The in-memory loader
-# (read_metis, no --from-disk) still asserts on bad contents; migrating it
-# is a tracked ROADMAP item.
+# CLI error-channel test: malformed METIS *content* — on the --from-disk
+# streaming path, the pipelined path, and the in-memory loader alike — must
+# make partition_tool exit non-zero with a clean "error:" message — never
+# SIGABRT (exit 134).
 # Usage: test_partition_tool_errors.sh <path-to-partition_tool>
 set -u
 
@@ -59,6 +58,20 @@ check_clean_error "missing edge weight" 1 \
 printf '2 1\n2\nxyz\n' > "$tmpdir/garbage.graph"
 check_clean_error "non-numeric token" 1 \
   "$tool" "$tmpdir/garbage.graph" --k 2 --from-disk
+
+# The pipelined path (producer thread) must surface the same errors cleanly.
+check_clean_error "pipelined well-formed control" 0 \
+  "$tool" "$tmpdir/good.graph" --k 2 --pipeline --io-threads 2
+check_clean_error "pipelined neighbor out of range" 1 \
+  "$tool" "$tmpdir/range.graph" --k 2 --pipeline
+check_clean_error "pipelined non-numeric token" 1 \
+  "$tool" "$tmpdir/garbage.graph" --k 2 --pipeline --io-threads 2
+
+# The in-memory loader (no --from-disk) now rides the IoError channel too.
+check_clean_error "in-memory neighbor out of range" 1 \
+  "$tool" "$tmpdir/range.graph" --k 2
+check_clean_error "in-memory malformed header" 1 \
+  "$tool" "$tmpdir/badheader.graph" --k 2
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures CLI error-channel check(s) failed"

@@ -16,13 +16,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "oms/graph/generators.hpp"
 #include "oms/graph/graph_builder.hpp"
+#include "oms/graph/io.hpp"
 #include "oms/partition/fennel.hpp"
 #include "oms/partition/hashing.hpp"
 #include "oms/partition/ldg.hpp"
 #include "oms/partition/metrics.hpp"
 #include "oms/stream/one_pass_driver.hpp"
+#include "oms/stream/pipeline.hpp"
 #include "oms/util/random.hpp"
 
 namespace oms {
@@ -154,6 +159,63 @@ TEST(GoldenEquivalence, FlatHashing) {
   pc.seed = 5;
   HashingPartitioner hashing(ba.num_nodes(), ba.total_node_weight(), pc);
   EXPECT_EQ(fnv1a(run_one_pass(ba, hashing, 1).assignment), 0x33d0cc2987716cf5ULL);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined disk path: the producer/consumer driver with one assign thread
+// must reproduce the *same* golden fingerprints through the full round trip
+// write_metis -> parse-ahead batches -> assignment. Parse-ahead reorders
+// work, never decisions.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::uint64_t pipelined_hash(const CsrGraph& g, OnePassAssigner& a,
+                                           std::size_t batch_nodes) {
+  const std::string path =
+      ::testing::TempDir() + "/oms_golden_pipeline_" + std::to_string(batch_nodes) +
+      ".graph";
+  write_metis(g, path);
+  PipelineConfig config;
+  config.assign_threads = 1;
+  config.batch_nodes = batch_nodes;
+  const std::uint64_t h = fnv1a(run_one_pass_from_file(path, a, config).assignment);
+  std::remove(path.c_str());
+  return h;
+}
+
+TEST(GoldenEquivalence, PipelinedNhOmsFennelDefaults) {
+  const CsrGraph ba = gen::barabasi_albert(5000, 5, 11);
+  for (const std::size_t batch : {std::size_t{64}, std::size_t{4096}}) {
+    OnlineMultisection oms(ba.num_nodes(), ba.num_edges(), ba.total_node_weight(),
+                           BlockId{24}, OmsConfig{});
+    EXPECT_EQ(pipelined_hash(ba, oms, batch), 0xdf5910a0b8af5c66ULL)
+        << "batch=" << batch;
+  }
+}
+
+TEST(GoldenEquivalence, PipelinedNhOmsWeightedGraph) {
+  // Non-unit node and edge weights cross the batch handoff too.
+  const CsrGraph g = weighted_graph();
+  OnlineMultisection oms(g.num_nodes(), g.num_edges(), g.total_node_weight(),
+                         BlockId{24}, OmsConfig{});
+  EXPECT_EQ(pipelined_hash(g, oms, 256), 0x28366b7513619939ULL);
+}
+
+TEST(GoldenEquivalence, PipelinedFlatFennel) {
+  const CsrGraph ba = gen::barabasi_albert(5000, 5, 11);
+  PartitionConfig pc;
+  pc.k = 96;
+  FennelPartitioner fennel(ba.num_nodes(), ba.num_edges(), ba.total_node_weight(),
+                           pc);
+  EXPECT_EQ(pipelined_hash(ba, fennel, 512), 0x2d45a97b4c53b8eeULL);
+}
+
+TEST(GoldenEquivalence, PipelinedOmsHybridMapping) {
+  const CsrGraph ba = gen::barabasi_albert(5000, 5, 11);
+  OmsConfig config;
+  config.quality_layers = 1;
+  OnlineMultisection oms(ba.num_nodes(), ba.num_edges(), ba.total_node_weight(),
+                         SystemHierarchy::parse("4:16:2", "1:10:100"), config);
+  EXPECT_EQ(pipelined_hash(ba, oms, 1024), 0x7ac180a2471a1e66ULL);
 }
 
 // ---------------------------------------------------------------------------

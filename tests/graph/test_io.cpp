@@ -4,9 +4,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <vector>
 
 #include "oms/graph/generators.hpp"
 #include "oms/graph/graph_builder.hpp"
+#include "oms/util/io_error.hpp"
 #include "tests/test_support.hpp"
 
 namespace oms {
@@ -115,13 +118,81 @@ TEST_F(IoTest, MetisIsolatedMidStreamNodesKeepTheirSlot) {
   std::remove(path.c_str());
 }
 
-TEST_F(IoTest, MetisHeaderMismatchDies) {
+// ---------------------------------------------------------------------------
+// IoError channel: malformed input raises a recoverable exception carrying
+// the file position — never an assertion abort (finishes the migration the
+// streaming reader started).
+// ---------------------------------------------------------------------------
+
+TEST_F(IoTest, MetisHeaderMismatchThrows) {
   const std::string path = temp_path("badheader.graph");
   {
     std::ofstream out(path);
     out << "3 5\n2\n1 3\n2\n"; // claims 5 edges, has 2
   }
-  EXPECT_DEATH((void)read_metis(path), "disagrees");
+  EXPECT_THROW((void)read_metis(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MetisMalformedHeaderThrows) {
+  const std::string path = temp_path("badheadertok.graph");
+  // Includes the multi-constraint forms (fmt hundreds digit, ncon != 1) and
+  // trailing junk — the same contract the streaming reader enforces, so one
+  // file cannot parse cleanly on one path and corrupt on the other.
+  for (const char* header : {"abc def\n", "5\n", "5 x\n", "-3 1\n", "4 2 110\n",
+                             "4 2 10 2\n", "4 2 11 3\n", "5 2 0 1 9\n"}) {
+    {
+      std::ofstream out(path);
+      out << header;
+    }
+    EXPECT_THROW((void)read_metis(path), IoError) << header;
+  }
+  // ncon == 1 stays accepted (it's the only workable value).
+  {
+    std::ofstream out(path);
+    out << "3 2 10 1\n1 2\n2 1 3\n3 2\n";
+  }
+  const CsrGraph g = read_metis(path);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.node_weight(1), 2);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MetisNeighborOutOfRangeThrowsWithPosition) {
+  const std::string path = temp_path("range.graph");
+  {
+    std::ofstream out(path);
+    out << "% comment\n2 1\n2\n9\n"; // node 2 references neighbor 9 > n
+  }
+  try {
+    (void)read_metis(path);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find(":4:"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MetisMissingEdgeWeightThrows) {
+  const std::string path = temp_path("noweight.graph");
+  {
+    std::ofstream out(path);
+    out << "2 1 1\n2 5\n1\n"; // fmt=1 but node 2's weight is absent
+  }
+  EXPECT_THROW((void)read_metis(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MetisNonNumericTokenThrows) {
+  const std::string path = temp_path("garbage.graph");
+  {
+    std::ofstream out(path);
+    out << "2 1\n2\nfoo\n";
+  }
+  EXPECT_THROW((void)read_metis(path), IoError);
   std::remove(path.c_str());
 }
 
@@ -143,12 +214,53 @@ TEST_F(IoTest, BinaryRejectsBadMagic) {
     out.write(reinterpret_cast<const char*>(&junk), sizeof junk);
     out.write(reinterpret_cast<const char*>(&junk), sizeof junk);
   }
-  EXPECT_DEATH((void)read_binary(path), "magic");
+  EXPECT_THROW((void)read_binary(path), IoError);
   std::remove(path.c_str());
 }
 
-TEST_F(IoTest, MissingFileDies) {
-  EXPECT_DEATH((void)read_metis("/nonexistent/surely/missing.graph"), "cannot open");
+TEST_F(IoTest, BinaryTruncatedFileThrows) {
+  const CsrGraph original = gen::barabasi_albert(200, 3, 4);
+  const std::string full = temp_path("full.bin");
+  write_binary(original, full);
+  std::ifstream in(full, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  // Cut at several depths: inside the header, inside xadj, inside the last
+  // payload array. Every cut must raise IoError, never abort or misread.
+  const std::string path = temp_path("truncated.bin");
+  for (const std::size_t keep :
+       {std::size_t{4}, std::size_t{20}, bytes.size() / 2, bytes.size() - 1}) {
+    {
+      std::ofstream out(path, std::ios::binary);
+      out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    }
+    EXPECT_THROW((void)read_binary(path), IoError) << "keep=" << keep;
+  }
+  std::remove(full.c_str());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryImplausibleHeaderSizesThrow) {
+  // A header advertising astronomically many arcs must be rejected before
+  // any allocation happens (IoError, not bad_alloc).
+  const std::string path = temp_path("implausible.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::uint64_t magic = 0x4f4d5347'52415031ULL;
+    const std::uint64_t n = 4;
+    const std::uint64_t arcs = std::uint64_t{1} << 60;
+    out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+    out.write(reinterpret_cast<const char*>(&n), sizeof n);
+    out.write(reinterpret_cast<const char*>(&arcs), sizeof arcs);
+  }
+  EXPECT_THROW((void)read_binary(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW((void)read_metis("/nonexistent/surely/missing.graph"), IoError);
+  EXPECT_THROW((void)read_binary("/nonexistent/surely/missing.bin"), IoError);
 }
 
 } // namespace

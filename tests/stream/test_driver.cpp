@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <mutex>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "oms/graph/generators.hpp"
 #include "oms/graph/io.hpp"
@@ -112,11 +114,21 @@ TEST(BlockWeights, AtomicAddAndTotal) {
   EXPECT_EQ(w.total(), 0);
 }
 
+// The concurrent BlockWeights stress tests spawn std::threads rather than an
+// OMP region so the TSan CI leg sees the synchronization (an uninstrumented
+// OpenMP runtime's fork/join is invisible to it).
 TEST(BlockWeights, ConcurrentIncrementsAreLossless) {
   BlockWeights w(2);
-#pragma omp parallel for num_threads(8)
-  for (int i = 0; i < 100000; ++i) {
-    w.add(static_cast<std::size_t>(i % 2), 1);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&w] {
+      for (int i = 0; i < 12500; ++i) {
+        w.add(static_cast<std::size_t>(i % 2), 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
   }
   EXPECT_EQ(w.load(0), 50000);
   EXPECT_EQ(w.load(1), 50000);
@@ -157,9 +169,16 @@ TEST(BlockWeights, ViewsMatchGenericAccessors) {
 
 TEST(BlockWeights, ConcurrentIncrementsAreLosslessWhenPadded) {
   BlockWeights w(3, BlockWeights::Layout::kPadded);
-#pragma omp parallel for num_threads(8)
-  for (int i = 0; i < 90000; ++i) {
-    w.add(static_cast<std::size_t>(i % 3), 1);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&w] {
+      for (int i = 0; i < 11250; ++i) {
+        w.add(static_cast<std::size_t>(i % 3), 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
   }
   EXPECT_EQ(w.load(0), 30000);
   EXPECT_EQ(w.load(1), 30000);

@@ -1,0 +1,327 @@
+/// \file test_pipeline.cpp
+/// \brief The pipelined disk driver must change *when* work happens, never
+///        *what* is decided: single-consumer runs are bit-identical to the
+///        sequential file driver across batch/ring geometries; multi-consumer
+///        runs keep the parallel driver's coverage and overshoot invariants;
+///        an IoError raised mid-stream surfaces on the caller instead of
+///        deadlocking; fill_batch survives rewind() and batch seams.
+#include "oms/stream/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "oms/core/online_multisection.hpp"
+#include "oms/graph/generators.hpp"
+#include "oms/graph/graph_builder.hpp"
+#include "oms/graph/io.hpp"
+#include "oms/partition/fennel.hpp"
+#include "oms/partition/metrics.hpp"
+#include "oms/partition/partition_config.hpp"
+#include "oms/util/random.hpp"
+#include "tests/test_support.hpp"
+
+namespace oms {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void write_text(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  ASSERT_TRUE(out.good());
+}
+
+CsrGraph weighted_fixture(NodeId n) {
+  Rng rng(2026);
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    builder.set_node_weight(u, 1 + static_cast<NodeWeight>(rng.next_below(5)));
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (int d = 0; d < 3; ++d) {
+      const auto v = static_cast<NodeId>(rng.next_below(n));
+      if (v != u) {
+        builder.add_edge(u, v, 1 + static_cast<EdgeWeight>(rng.next_below(7)));
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+std::unique_ptr<FennelPartitioner> fennel_for(const CsrGraph& g, BlockId k) {
+  PartitionConfig pc;
+  pc.k = k;
+  return std::make_unique<FennelPartitioner>(g.num_nodes(), g.num_edges(),
+                                             g.total_node_weight(), pc);
+}
+
+// ---------------------------------------------------------------------------
+// Decision parity: one consumer == sequential file driver, bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(Pipeline, SingleConsumerMatchesSequentialAcrossGeometries) {
+  const CsrGraph g = gen::barabasi_albert(800, 4, 13);
+  const std::string path = temp_path("oms_pipeline_parity.graph");
+  write_metis(g, path);
+
+  auto sequential = fennel_for(g, 7);
+  const StreamResult expected = run_one_pass_from_file(path, *sequential);
+
+  // Degenerate geometries force every seam: single-node batches, a one-slot
+  // ring (strict ping-pong), an arc cap that closes batches early, a reader
+  // buffer far smaller than a line.
+  struct Geometry {
+    std::size_t batch_nodes, batch_arcs, ring, buffer;
+  };
+  for (const Geometry geo : {Geometry{1, 0, 1, 64}, Geometry{3, 0, 2, 64},
+                             Geometry{64, 16, 2, 256}, Geometry{4096, 0, 4, 1 << 16},
+                             Geometry{1024, 1 << 18, 8, 1 << 18}}) {
+    SCOPED_TRACE("batch=" + std::to_string(geo.batch_nodes) +
+                 " arcs=" + std::to_string(geo.batch_arcs) +
+                 " ring=" + std::to_string(geo.ring) +
+                 " buffer=" + std::to_string(geo.buffer));
+    PipelineConfig config;
+    config.assign_threads = 1;
+    config.batch_nodes = geo.batch_nodes;
+    config.batch_arcs = geo.batch_arcs;
+    config.ring_batches = geo.ring;
+    config.reader_buffer_bytes = geo.buffer;
+    auto pipelined = fennel_for(g, 7);
+    const StreamResult got = run_one_pass_from_file(path, *pipelined, config);
+    EXPECT_EQ(got.assignment, expected.assignment);
+    EXPECT_EQ(got.work.score_evaluations, expected.work.score_evaluations);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Pipeline, SingleConsumerMatchesSequentialOnWeightedOms) {
+  const CsrGraph g = weighted_fixture(600);
+  const std::string path = temp_path("oms_pipeline_weighted.graph");
+  write_metis(g, path);
+
+  OmsConfig oc;
+  OnlineMultisection sequential(g.num_nodes(), g.num_edges(), g.total_node_weight(),
+                                BlockId{24}, oc);
+  const StreamResult expected = run_one_pass_from_file(path, sequential);
+
+  PipelineConfig config;
+  config.batch_nodes = 37; // misaligned with n on purpose
+  OnlineMultisection pipelined(g.num_nodes(), g.num_edges(), g.total_node_weight(),
+                               BlockId{24}, oc);
+  const StreamResult got = run_one_pass_from_file(path, pipelined, config);
+  EXPECT_EQ(got.assignment, expected.assignment);
+  std::remove(path.c_str());
+}
+
+TEST(Pipeline, CommentsIsolatedNodesAndMissingTrailingLines) {
+  // The batch boundary must not disturb the line-level quirks of the format.
+  const std::string path = temp_path("oms_pipeline_quirks.graph");
+  write_text(path,
+             "% leading comment\n"
+             "5 2\n"
+             "2\n"
+             "1 3\n"
+             "\n"
+             "% comment\n"
+             "2\n");
+  auto assigner = [] {
+    PartitionConfig pc;
+    pc.k = 2;
+    return std::make_unique<FennelPartitioner>(5, 2, 5, pc);
+  };
+  auto sequential = assigner();
+  const StreamResult expected = run_one_pass_from_file(path, *sequential);
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    PipelineConfig config;
+    config.batch_nodes = batch;
+    config.ring_batches = 1;
+    auto pipelined = assigner();
+    const StreamResult got = run_one_pass_from_file(path, *pipelined, config);
+    EXPECT_EQ(got.assignment, expected.assignment) << "batch=" << batch;
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Multi-consumer: same invariants as the in-memory parallel driver.
+// ---------------------------------------------------------------------------
+
+TEST(Pipeline, MultiConsumerIsCoveredAndBalanced) {
+  const CsrGraph g = gen::barabasi_albert(20000, 5, 17);
+  const std::string path = temp_path("oms_pipeline_parallel.graph");
+  write_metis(g, path);
+  const BlockId k = 32;
+
+  for (const int threads : {2, 4}) {
+    OmsConfig config;
+    OnlineMultisection oms(g.num_nodes(), g.num_edges(), g.total_node_weight(), k,
+                           config);
+    PipelineConfig pipeline;
+    pipeline.assign_threads = threads;
+    pipeline.batch_nodes = 1024;
+    const StreamResult r = run_one_pass_from_file(path, oms, pipeline);
+    verify_partition(g, r.assignment, k);
+
+    const NodeWeight lmax =
+        max_block_weight(g.total_node_weight(), k, config.epsilon);
+    const auto cap = block_weights_of(g, r.assignment, k);
+    for (BlockId b = 0; b < k; ++b) {
+      EXPECT_LE(cap[static_cast<std::size_t>(b)], lmax + threads)
+          << "block " << b << " overshot the parallel bound (threads=" << threads
+          << ")";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Failure paths: IoError mid-stream must surface, not deadlock or abort.
+// ---------------------------------------------------------------------------
+
+TEST(Pipeline, IoErrorMidStreamSurfacesOnCaller) {
+  // 200 well-formed nodes, then garbage, with tiny batches and a one-slot
+  // ring so the error strikes while consumers are busy and the producer is
+  // backpressured.
+  const NodeId n = 201;
+  std::string content = std::to_string(n) + " 0\n";
+  for (NodeId u = 0; u < n - 1; ++u) {
+    content += "\n";
+  }
+  content += "garbage\n";
+  const std::string path = temp_path("oms_pipeline_ioerror.graph");
+  write_text(path, content);
+
+  PartitionConfig pc;
+  pc.k = 2;
+  FennelPartitioner fennel(n, 0, n, pc);
+  PipelineConfig config;
+  config.batch_nodes = 8;
+  config.ring_batches = 1;
+  EXPECT_THROW((void)run_one_pass_from_file(path, fennel, config), IoError);
+  std::remove(path.c_str());
+}
+
+TEST(Pipeline, IoErrorInHeaderSurfacesBeforeThreadsSpawn) {
+  const std::string path = temp_path("oms_pipeline_badheader.graph");
+  write_text(path, "not a header\n");
+  PartitionConfig pc;
+  pc.k = 2;
+  FennelPartitioner fennel(4, 0, 4, pc);
+  EXPECT_THROW((void)run_one_pass_from_file(path, fennel, PipelineConfig{}), IoError);
+  std::remove(path.c_str());
+}
+
+/// An assigner that fails mid-pass: the consumer-side exception must
+/// propagate to the caller and unblock the producer (no deadlock).
+class ThrowingAssigner final : public OnePassAssigner {
+public:
+  explicit ThrowingAssigner(NodeId fail_at) : fail_at_(fail_at) {}
+  void prepare(int) override {}
+  BlockId assign(const StreamedNode& node, int, WorkCounters&) override {
+    if (node.id >= fail_at_) {
+      throw std::runtime_error("assigner failure injection");
+    }
+    return 0;
+  }
+  [[nodiscard]] BlockId block_of(NodeId) const override { return 0; }
+  [[nodiscard]] BlockId num_blocks() const override { return 1; }
+  [[nodiscard]] std::vector<BlockId> take_assignment() override { return {}; }
+
+private:
+  NodeId fail_at_;
+};
+
+TEST(Pipeline, ConsumerExceptionUnblocksProducer) {
+  const CsrGraph g = gen::grid_2d(40, 40);
+  const std::string path = temp_path("oms_pipeline_consumerfail.graph");
+  write_metis(g, path);
+  ThrowingAssigner assigner(64);
+  PipelineConfig config;
+  config.batch_nodes = 16;
+  config.ring_batches = 1; // maximal backpressure on the producer
+  EXPECT_THROW((void)run_one_pass_from_file(path, assigner, config),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// fill_batch (the chunk-handoff API) and rewind-after-pipeline parity.
+// ---------------------------------------------------------------------------
+
+TEST(Pipeline, FillBatchRewindReplaysIdentically) {
+  const CsrGraph g = weighted_fixture(300);
+  const std::string path = temp_path("oms_pipeline_rewind.graph");
+  write_metis(g, path);
+
+  const auto drain = [](MetisNodeStream& stream) {
+    std::vector<std::vector<NodeId>> adjacency;
+    std::vector<NodeWeight> weights;
+    NodeBatch batch;
+    while (stream.fill_batch(batch, 17, 64) > 0) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const StreamedNode node = batch.node(i);
+        EXPECT_EQ(node.id, adjacency.size());
+        adjacency.emplace_back(node.neighbors.begin(), node.neighbors.end());
+        weights.push_back(node.weight);
+      }
+    }
+    return std::make_pair(adjacency, weights);
+  };
+
+  MetisNodeStream stream(path, 128);
+  const auto first = drain(stream);
+  EXPECT_EQ(first.first.size(), g.num_nodes());
+  stream.rewind();
+  const auto second = drain(stream);
+  EXPECT_EQ(first, second);
+
+  // Restream mixing the two APIs: batches first, node-at-a-time after rewind.
+  stream.rewind();
+  StreamedNode node{};
+  NodeId count = 0;
+  while (stream.next(node)) {
+    ASSERT_LT(count, g.num_nodes());
+    EXPECT_EQ(std::vector<NodeId>(node.neighbors.begin(), node.neighbors.end()),
+              first.first[count]);
+    EXPECT_EQ(node.weight, first.second[count]);
+    ++count;
+  }
+  EXPECT_EQ(count, g.num_nodes());
+  std::remove(path.c_str());
+}
+
+TEST(Pipeline, FillBatchHonorsArcCap) {
+  const CsrGraph g = testing::star_graph(50); // node 0 has degree 49
+  const std::string path = temp_path("oms_pipeline_arccap.graph");
+  write_metis(g, path);
+  MetisNodeStream stream(path);
+  NodeBatch batch;
+  // The hub exceeds the cap by itself: the batch must still make progress
+  // (one node), never loop or split a node.
+  ASSERT_EQ(stream.fill_batch(batch, 100, 8), 1u);
+  EXPECT_EQ(batch.node(0).neighbors.size(), 49u);
+  // Leaves close the batch once 8 arcs accumulate.
+  ASSERT_EQ(stream.fill_batch(batch, 100, 8), 8u);
+  EXPECT_EQ(batch.first_id(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Pipeline, EmptyGraphRunsClean) {
+  const std::string path = temp_path("oms_pipeline_empty.graph");
+  write_text(path, "0 0\n");
+  ThrowingAssigner never_assigns(0); // would throw on any node: none arrive
+  const StreamResult r =
+      run_one_pass_from_file(path, never_assigns, PipelineConfig{});
+  EXPECT_TRUE(r.assignment.empty());
+  std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace oms

@@ -1,0 +1,137 @@
+/// \file test_bounded_queue.cpp
+/// \brief The pipeline's bounded blocking queue: FIFO order, capacity
+///        backpressure, close() semantics (drain-then-stop on the pop side,
+///        immediate refusal on the push side), and a multi-producer/
+///        multi-consumer stress run sized for the TSan CI leg.
+#include "oms/util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace oms {
+namespace {
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.push(int{i}));
+  }
+  EXPECT_EQ(q.size(), 4u);
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, PushBlocksUntilPopMakesRoom) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(2)); // blocks: queue is full
+    pushed.store(true);
+  });
+  // The producer cannot complete until this thread pops.
+  int out = 0;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueue, CloseDrainsBufferedElementsThenStops) {
+  BoundedQueue<int> q(8);
+  ASSERT_TRUE(q.push(10));
+  ASSERT_TRUE(q.push(11));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(12)); // refused immediately
+  int out = 0;
+  ASSERT_TRUE(q.pop(out)); // buffered elements still drain
+  EXPECT_EQ(out, 10);
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 11);
+  EXPECT_FALSE(q.pop(out)); // closed and empty
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducerAndConsumer) {
+  BoundedQueue<int> full(1);
+  ASSERT_TRUE(full.push(1));
+  std::thread blocked_producer([&] {
+    int v = 2;
+    EXPECT_FALSE(full.push(std::move(v))); // blocked on full, woken by close
+  });
+  BoundedQueue<int> empty(1);
+  std::thread blocked_consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(empty.pop(out)); // blocked on empty, woken by close
+  });
+  full.close();
+  empty.close();
+  blocked_producer.join();
+  blocked_consumer.join();
+}
+
+TEST(BoundedQueue, MovesValuesWithoutCopy) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  ASSERT_TRUE(q.push(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+/// MPMC stress: every pushed value is popped exactly once, across thread
+/// counts exceeding the queue capacity, and a late close() releases everyone.
+/// This is the test the TSan CI leg exists for.
+TEST(BoundedQueueStress, ManyProducersManyConsumersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5000;
+  BoundedQueue<int> q(8);
+
+  std::atomic<long long> popped_sum{0};
+  std::atomic<int> popped_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int out = 0;
+      while (q.pop(out)) {
+        popped_sum.fetch_add(out, std::memory_order_relaxed);
+        popped_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads[static_cast<std::size_t>(p)].join();
+  }
+  q.close(); // all values pushed; consumers drain and exit
+  for (std::size_t t = kProducers; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+
+  constexpr int kTotal = kProducers * kPerProducer;
+  constexpr long long kExpectedSum =
+      static_cast<long long>(kTotal) * (kTotal - 1) / 2;
+  EXPECT_EQ(popped_count.load(), kTotal);
+  EXPECT_EQ(popped_sum.load(), kExpectedSum);
+}
+
+} // namespace
+} // namespace oms

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff a fresh bench_micro JSON against the committed
+baseline and fail CI on a real streaming-throughput regression.
+
+Raw real_time ratios between two different machines carry the machine-speed
+factor (the committed baseline is recorded wherever the last perf PR ran, CI
+runs on whatever runner it gets). To first order that factor is the same for
+every benchmark in a run, so the gate normalizes it away: each gated ratio
+(new/base of a BM_Stream* entry) is divided by the geomean ratio of the
+*anchor* benchmarks — every common benchmark outside the gated prefix
+(BM_TreeBuild*, BM_MappingCost, ...). A uniformly slower runner inflates
+gated and anchor ratios alike and cancels; a change that slows only the
+streaming hot paths moves the gated ratios against the anchors and trips the
+gate. The residual blind spot (a change slowing *everything*, anchors
+included, uniformly) is covered by the uploaded artifact and perf review,
+not this gate; --no-normalize gives the raw same-machine comparison.
+
+Exit codes: 0 = within bounds (individual drifts above --warn emit GitHub
+warning annotations), 1 = normalized geomean regression above --fail,
+2 = usage/data error (missing files, no overlapping benchmarks).
+
+Usage:
+  bench_regression_gate.py NEW_JSON BASELINE_JSON \
+      [--prefix BM_Stream] [--fail 0.15] [--warn 0.05] [--no-normalize]
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_benchmarks(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read '{path}': {e}", file=sys.stderr)
+        sys.exit(2)
+    entries = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repeated runs).
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name")
+        time = b.get("real_time")
+        if name is not None and isinstance(time, (int, float)) and time > 0:
+            entries[name] = float(time)
+    return entries
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("new_json")
+    parser.add_argument("baseline_json")
+    parser.add_argument("--prefix", default="BM_Stream",
+                        help="gate benchmarks whose name starts with this")
+    parser.add_argument("--fail", type=float, default=0.15,
+                        help="fail when the gated geomean regresses more than this")
+    parser.add_argument("--warn", type=float, default=0.05,
+                        help="annotate individual entries drifting more than this")
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="skip the anchor normalization (same-machine diffs)")
+    args = parser.parse_args()
+
+    new = load_benchmarks(args.new_json)
+    base = load_benchmarks(args.baseline_json)
+    common = sorted(set(new) & set(base))
+    ratios = {n: new[n] / base[n] for n in common}
+    gated = [n for n in common if n.startswith(args.prefix)]
+    anchors = [n for n in common if not n.startswith(args.prefix)]
+    if not gated:
+        print(f"error: no common benchmarks with prefix '{args.prefix}' "
+              f"({len(common)} common overall)", file=sys.stderr)
+        sys.exit(2)
+
+    # Machine-speed factor: how much faster/slower this run's machine is on
+    # the benchmarks the gate does NOT watch. Falls back to 1.0 (raw ratios)
+    # when there are no anchors to estimate it from.
+    machine = 1.0
+    if not args.no_normalize and anchors:
+        machine = geomean([ratios[n] for n in anchors])
+
+    print(f"{'benchmark':40s} {'baseline':>12s} {'new':>12s} {'ratio':>7s} {'norm':>7s}")
+    for name in common:
+        norm = ratios[name] / machine
+        in_gate = name.startswith(args.prefix)
+        marker = "  <-- slower" if in_gate and norm > 1 + args.warn else ""
+        print(f"{name:40s} {base[name]:12.0f} {new[name]:12.0f} "
+              f"{ratios[name]:6.2f}x {norm:6.2f}x{marker}")
+        if in_gate and norm > 1 + args.warn:
+            # GitHub annotation; harmless plain text outside Actions.
+            print(f"::warning title=bench drift::{name} is {norm:.2f}x the "
+                  f"baseline real_time (machine-normalized)")
+
+    gated_geomean = geomean([ratios[n] for n in gated]) / machine
+    print(f"\nmachine factor (geomean of {len(anchors)} anchor benchmarks): "
+          f"{machine:.3f}x")
+    print(f"gated geomean ({args.prefix}*, {len(gated)} benchmarks, "
+          f"normalized): {gated_geomean:.3f}x baseline")
+    if gated_geomean > 1 + args.fail:
+        print(f"::error title=bench regression::{args.prefix}* normalized "
+              f"geomean {gated_geomean:.3f}x exceeds the {1 + args.fail:.2f}x gate")
+        sys.exit(1)
+    if gated_geomean > 1 + args.warn:
+        print(f"::warning title=bench drift::{args.prefix}* normalized geomean "
+              f"{gated_geomean:.3f}x baseline (gate is {1 + args.fail:.2f}x)")
+    print("bench regression gate: OK")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
