@@ -11,6 +11,9 @@
 
 #include "oms/core/multisection_tree.hpp"
 #include "oms/core/online_multisection.hpp"
+#include "oms/edgepart/dbh.hpp"
+#include "oms/edgepart/driver.hpp"
+#include "oms/edgepart/hdrf.hpp"
 #include "oms/graph/generators.hpp"
 #include "oms/graph/io.hpp"
 #include "oms/mapping/mapping_cost.hpp"
@@ -185,6 +188,78 @@ void BM_MetisStreamPartitionPipelined(benchmark::State& state) {
   metis_stream_partition<true>(state);
 }
 BENCHMARK(BM_MetisStreamPartitionPipelined);
+
+/// Shared edge sequence for the vertex-cut assignment-throughput benches
+/// (each undirected edge of the shared graph once, stream order).
+const std::vector<StreamedEdge>& shared_edges() {
+  static const std::vector<StreamedEdge> edges = [] {
+    const CsrGraph& graph = shared_graph();
+    std::vector<StreamedEdge> result;
+    result.reserve(graph.num_edges());
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      for (const NodeId v : graph.neighbors(u)) {
+        if (v > u) {
+          result.push_back(StreamedEdge{u, v, 1});
+        }
+      }
+    }
+    return result;
+  }();
+  return edges;
+}
+
+template <typename MakePartitioner>
+void edge_stream_throughput(benchmark::State& state, MakePartitioner&& make) {
+  const std::vector<StreamedEdge>& edges = shared_edges();
+  for (auto _ : state) {
+    auto partitioner = make();
+    const EdgePartitionResult r = run_edge_partition(edges, *partitioner);
+    benchmark::DoNotOptimize(r.edge_assignment.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(edges.size()));
+}
+
+void BM_EdgeStreamHdrf(benchmark::State& state) {
+  const auto k = static_cast<BlockId>(state.range(0));
+  edge_stream_throughput(state, [k] {
+    EdgePartConfig config;
+    config.k = k;
+    return std::make_unique<HdrfPartitioner>(config);
+  });
+}
+BENCHMARK(BM_EdgeStreamHdrf)->Arg(32)->Arg(256);
+
+void BM_EdgeStreamDbh(benchmark::State& state) {
+  const auto k = static_cast<BlockId>(state.range(0));
+  edge_stream_throughput(state, [k] {
+    EdgePartConfig config;
+    config.k = k;
+    return std::make_unique<DbhPartitioner>(config);
+  });
+}
+BENCHMARK(BM_EdgeStreamDbh)->Arg(32)->Arg(256);
+
+void BM_EdgeListStreamRead(benchmark::State& state) {
+  // Edge-list ingest throughput: the buffered raw-read + in-place from_chars
+  // path of EdgeListStream, without any assignment work.
+  const std::string path = "/tmp/oms_bench_micro_edges." +
+                           std::to_string(::getpid()) + ".edgelist";
+  write_edge_list(shared_graph(), path);
+  EdgeIndex edges = 0;
+  for (auto _ : state) {
+    EdgeListStream stream(path);
+    StreamedEdge edge;
+    edges = 0;
+    while (stream.next(edge)) {
+      ++edges;
+    }
+    benchmark::DoNotOptimize(edges);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(edges));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_EdgeListStreamRead);
 
 void BM_MappingCost(benchmark::State& state) {
   const CsrGraph& graph = shared_graph();

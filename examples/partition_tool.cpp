@@ -1,23 +1,33 @@
 /// \file partition_tool.cpp
-/// \brief Command-line streaming partitioner over METIS files — the shape of
-///        tool a downstream user would run in an ingest pipeline.
+/// \brief Command-line streaming partitioner over METIS *node* streams and
+///        SNAP-style *edge-list* streams — the shape of tool a downstream
+///        user would run in an ingest pipeline.
 ///
 /// Usage:
 ///   partition_tool <graph.metis> --k 64
-///                  [--algo oms|fennel|ldg|hashing|window|buffered]
+///                  [--format metis|edgelist]
+///                  [--algo oms|fennel|ldg|hashing|window|buffered
+///                         |hdrf|dbh|grid2d]
 ///                  [--hierarchy 4:16:2 --distances 1:10:100]
-///                  [--epsilon 0.03] [--threads 1] [--seed 1]
+///                  [--epsilon 0.03] [--lambda 1.1] [--threads 1] [--seed 1]
 ///                  [--output partition.txt] [--from-disk]
 ///                  [--pipeline] [--io-threads 1]
 ///
-/// With --hierarchy the tool solves process mapping (OMS) and reports J;
-/// without it, plain k-way partitioning. --from-disk streams the file node
-/// by node without ever materializing the graph (O(n + k) memory; one-pass
-/// algorithms only). window/buffered use the in-memory graph for lookahead.
+/// METIS inputs are partitioned by node (edge-cut / process-mapping
+/// objectives); edge-list inputs are partitioned by *vertex-cut* (hdrf, dbh,
+/// grid2d — replication-factor objective), always streaming one pass from
+/// disk. The format is autodetected from the extension (.edgelist, .el,
+/// .edges, .snap = edge list) and forced with --format.
+///
+/// With --hierarchy the tool solves process mapping: OMS with J for node
+/// streams, hierarchical HDRF with the weighted replica cost for edge
+/// streams. --from-disk streams the file node by node without ever
+/// materializing the graph (O(n + k) memory; one-pass algorithms only).
 /// --pipeline (implies --from-disk) overlaps parsing with assignment: a
 /// dedicated reader thread parses batches while --io-threads consumer
 /// threads assign them (1, the default, keeps the sequential stream order
-/// bit-for-bit).
+/// bit-for-bit; vertex-cut assigners are always sequential, so there the
+/// pipeline overlaps parsing only).
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -30,6 +40,11 @@
 
 #include "oms/buffered/buffered_partitioner.hpp"
 #include "oms/core/online_multisection.hpp"
+#include "oms/edgepart/dbh.hpp"
+#include "oms/edgepart/driver.hpp"
+#include "oms/edgepart/grid2d.hpp"
+#include "oms/edgepart/hdrf.hpp"
+#include "oms/edgepart/hierarchical_hdrf.hpp"
 #include "oms/graph/io.hpp"
 #include "oms/mapping/mapping_cost.hpp"
 #include "oms/partition/fennel.hpp"
@@ -47,11 +62,13 @@ namespace {
 
 struct Options {
   std::string graph_path;
-  std::string algo = "oms";
+  std::string format = "auto"; ///< auto | metis | edgelist
+  std::string algo;            ///< default depends on format (oms / hdrf)
   oms::BlockId k = 0;
   std::optional<std::string> hierarchy;
   std::string distances = "1:10:100";
   double epsilon = 0.03;
+  double lambda = 1.1;
   int threads = 1;
   std::uint64_t seed = 1;
   std::string output;
@@ -62,14 +79,24 @@ struct Options {
 
 [[noreturn]] void usage(int exit_code = 2) {
   (exit_code == 0 ? std::cout : std::cerr)
-      << "usage: partition_tool <graph.metis> --k K [--algo "
-         "oms|fennel|ldg|hashing|window|buffered]\n"
+      << "usage: partition_tool <graph> --k K [--format metis|edgelist]\n"
+         "                      [--algo oms|fennel|ldg|hashing|window|buffered"
+         "    (metis)\n"
+         "                             |hdrf|dbh|grid2d]                      "
+         "    (edgelist)\n"
          "                      [--hierarchy a1:a2:... --distances "
          "d1:d2:...]\n"
-         "                      [--epsilon E] [--threads T] [--seed S]\n"
+         "                      [--epsilon E] [--lambda L] [--threads T] "
+         "[--seed S]\n"
          "                      [--output FILE] [--from-disk]\n"
          "                      [--pipeline] [--io-threads T]\n";
   std::exit(exit_code);
+}
+
+/// Edge-list extensions autodetected when --format is not given.
+bool looks_like_edge_list(const std::string& path) {
+  const std::string ext = std::filesystem::path(path).extension().string();
+  return ext == ".edgelist" || ext == ".el" || ext == ".edges" || ext == ".snap";
 }
 
 Options parse_args(int argc, char** argv) {
@@ -134,6 +161,13 @@ Options parse_args(int argc, char** argv) {
       opt.k = static_cast<oms::BlockId>(int_value());
     } else if (arg == "--algo") {
       opt.algo = value();
+    } else if (arg == "--format") {
+      opt.format = value();
+      if (opt.format != "metis" && opt.format != "edgelist") {
+        usage();
+      }
+    } else if (arg == "--lambda") {
+      opt.lambda = double_value();
     } else if (arg == "--hierarchy") {
       opt.hierarchy = value();
     } else if (arg == "--distances") {
@@ -194,6 +228,8 @@ std::unique_ptr<oms::OnePassAssigner> make_assigner(const Options& opt, oms::Nod
 }
 
 int run_tool(Options opt);
+int run_edge_tool(const Options& opt,
+                  const std::optional<oms::SystemHierarchy>& topo);
 
 } // namespace
 
@@ -207,6 +243,12 @@ int main(int argc, char** argv) {
     // instead of letting the library abort.
     std::cerr << "error: " << e.what() << "\n";
     return 1;
+  } catch (const std::bad_alloc&) {
+    // Also a user-input problem in practice: a graph (or an edge list whose
+    // max vertex id sizes the dense streaming state) too large for this
+    // machine must fail cleanly, not SIGABRT through std::terminate.
+    std::cerr << "error: out of memory loading '" << opt.graph_path << "'\n";
+    return 1;
   }
 }
 
@@ -214,6 +256,21 @@ namespace {
 
 int run_tool(Options opt) {
   using namespace oms;
+
+  if (opt.format == "auto") {
+    opt.format = looks_like_edge_list(opt.graph_path) ? "edgelist" : "metis";
+  }
+  const bool edge_list = opt.format == "edgelist";
+  if (opt.algo.empty()) {
+    opt.algo = edge_list ? "hdrf" : "oms";
+  }
+  const bool edge_algo =
+      opt.algo == "hdrf" || opt.algo == "dbh" || opt.algo == "grid2d";
+  if (edge_list != edge_algo) {
+    std::cerr << "error: --algo " << opt.algo << " needs --format "
+              << (edge_algo ? "edgelist" : "metis") << "\n";
+    return 2;
+  }
 
   std::optional<SystemHierarchy> topo;
   if (opt.hierarchy.has_value()) {
@@ -250,11 +307,16 @@ int run_tool(Options opt) {
     std::cerr << "error: cannot open graph file '" << opt.graph_path << "'\n";
     return 2;
   }
-  if (opt.from_disk && !std::filesystem::is_regular_file(graph_status)) {
+  if (!edge_list && opt.from_disk &&
+      !std::filesystem::is_regular_file(graph_status)) {
     // --from-disk opens the file twice (header probe, then the full stream),
-    // which a FIFO cannot replay.
+    // which a FIFO cannot replay. (The edge-list path opens it exactly once,
+    // so it has no such restriction.)
     std::cerr << "error: --from-disk needs a regular file, not a pipe\n";
     return 2;
+  }
+  if (edge_list) {
+    return run_edge_tool(opt, topo);
   }
 
   StreamResult result;
@@ -343,6 +405,92 @@ int run_tool(Options opt) {
       return 2;
     }
     std::cout << "partition written to " << opt.output << "\n";
+  }
+  return 0;
+}
+
+/// The vertex-cut path: stream the edge list one pass from disk through an
+/// edgepart assigner and report the replication-factor objectives.
+/// \p topo was parsed by run_tool (which also set opt.k to its PE count).
+int run_edge_tool(const Options& opt,
+                  const std::optional<oms::SystemHierarchy>& topo) {
+  using namespace oms;
+
+  if (topo.has_value() && opt.algo != "hdrf") {
+    std::cerr << "error: --hierarchy with an edge list requires --algo hdrf "
+                 "(hierarchical HDRF)\n";
+    return 2;
+  }
+  if (!std::isfinite(opt.lambda) || opt.lambda < 0.0) {
+    std::cerr << "error: --lambda must be a finite value >= 0\n";
+    return 2;
+  }
+  if (opt.threads > 1 || opt.io_threads > 1) {
+    std::cerr << "note: vertex-cut assignment is sequential; --pipeline "
+                 "overlaps parsing only (ignoring thread counts > 1)\n";
+  }
+  if (opt.io_threads < 0) {
+    std::cerr << "error: --io-threads must be >= 0 (0 = all hardware threads)\n";
+    return 2;
+  }
+
+  EdgePartConfig config;
+  config.k = opt.k;
+  config.lambda = opt.lambda;
+  config.epsilon = opt.epsilon;
+  config.seed = opt.seed;
+  std::unique_ptr<StreamingEdgePartitioner> partitioner;
+  if (topo.has_value()) {
+    partitioner = std::make_unique<HierarchicalHdrfPartitioner>(*topo, config);
+  } else if (opt.algo == "hdrf") {
+    partitioner = std::make_unique<HdrfPartitioner>(config);
+  } else if (opt.algo == "dbh") {
+    partitioner = std::make_unique<DbhPartitioner>(config);
+  } else {
+    partitioner = std::make_unique<Grid2dPartitioner>(config);
+  }
+
+  Timer total;
+  EdgePartitionResult result;
+  if (opt.pipeline) {
+    PipelineConfig pipeline;
+    result = run_edge_partition_from_file(opt.graph_path, *partitioner, pipeline);
+  } else {
+    result = run_edge_partition_from_file(opt.graph_path, *partitioner);
+  }
+
+  std::cout << "streamed " << result.stats.num_edges << " edges over "
+            << result.stats.num_vertices << " vertices from disk"
+            << (opt.pipeline ? " (pipelined)" : "") << ", k = "
+            << partitioner->num_blocks() << ", algo = " << opt.algo
+            << (topo.has_value() ? " (hierarchical)" : "") << "\n";
+  if (result.stats.self_loops_skipped > 0) {
+    std::cout << "self-loops skipped: " << result.stats.self_loops_skipped
+              << "\n";
+  }
+  std::cout << "replication factor: " << replication_factor(partitioner->replicas())
+            << "\n";
+  std::cout << "edge imbalance:     " << edge_imbalance(partitioner->edge_loads())
+            << "\n";
+  if (topo.has_value()) {
+    std::cout << "replica cost (hier): "
+              << hierarchical_replica_cost(partitioner->replicas(), *topo) << "\n";
+  }
+  std::cout << "assignment time: " << result.elapsed_s << " s (total "
+            << total.elapsed_s() << " s, peak RSS "
+            << peak_rss_bytes() / (1024 * 1024) << " MB)\n";
+
+  if (!opt.output.empty()) {
+    std::ofstream out(opt.output);
+    for (const BlockId b : result.edge_assignment) {
+      out << b << '\n';
+    }
+    out.flush();
+    if (!out.good()) {
+      std::cerr << "error: cannot write partition to '" << opt.output << "'\n";
+      return 2;
+    }
+    std::cout << "edge partition written to " << opt.output << "\n";
   }
   return 0;
 }

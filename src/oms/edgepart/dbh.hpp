@@ -1,0 +1,38 @@
+/// \file dbh.hpp
+/// \brief DBH — Degree-Based Hashing (Xie et al., NIPS'14): hash the edge on
+///        its lower-degree endpoint, so high-degree vertices absorb the
+///        replication (their cut is information-theoretically cheap) while
+///        low-degree vertices stay whole.
+///
+/// Streaming variant: degrees are *partial* (as seen so far), bumped on
+/// arrival before the decision; the hash is seeded splitmix64, so a run is
+/// deterministic for a fixed seed. O(1) per edge, no scoring loop.
+#pragma once
+
+#include "oms/edgepart/edge_partitioner.hpp"
+#include "oms/util/random.hpp"
+
+namespace oms {
+
+class DbhPartitioner final : public StreamingEdgePartitioner {
+public:
+  explicit DbhPartitioner(const EdgePartConfig& config)
+      : StreamingEdgePartitioner(config) {}
+
+protected:
+  [[nodiscard]] BlockId choose_block(const StreamedEdge& edge) override {
+    const std::uint32_t du = degrees_.increment(edge.u);
+    const std::uint32_t dv = degrees_.increment(edge.v);
+    // Lower partial degree wins; ties go to the smaller id so the choice is
+    // deterministic regardless of endpoint order in the file.
+    const NodeId pivot =
+        du < dv || (du == dv && edge.u < edge.v) ? edge.u : edge.v;
+    const std::uint64_t hash = hash_combine(config().seed, pivot);
+    return static_cast<BlockId>(hash % static_cast<std::uint64_t>(num_blocks()));
+  }
+
+private:
+  PartialDegrees degrees_;
+};
+
+} // namespace oms

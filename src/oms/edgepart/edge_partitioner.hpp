@@ -1,0 +1,137 @@
+/// \file edge_partitioner.hpp
+/// \brief The streaming vertex-cut model: edges arrive one at a time and are
+///        permanently placed on one of k blocks; vertices are *replicated*
+///        wherever their edges land. The objective is the replication factor
+///        (average replicas per vertex — the vertex-cut analogue of the
+///        communication-volume objective) under edge-load balance.
+///
+/// StreamingEdgePartitioner is the edge-stream counterpart of
+/// OnePassAssigner: one instance handles one pass over one edge stream. The
+/// base class owns the state every algorithm shares — the per-vertex replica
+/// bitsets, per-block edge loads, and the per-edge assignment record — so a
+/// concrete algorithm only implements choose_block().
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "oms/stream/edge_list_stream.hpp"
+#include "oms/types.hpp"
+#include "oms/util/assert.hpp"
+#include "oms/util/dense_bitset.hpp"
+
+namespace oms {
+
+/// Shared knobs of the streaming edge partitioners.
+struct EdgePartConfig {
+  BlockId k = 2;
+  /// HDRF balance pressure (the lambda of Petroni et al.): 0 ignores load,
+  /// larger values trade replication for tighter edge balance.
+  double lambda = 1.1;
+  /// Per-layer load slack of the hierarchical descent: a child module whose
+  /// subtree load would exceed (1 + epsilon) * its fair share of the parent
+  /// load so far is ineligible, whatever its affinity — the online analogue
+  /// of the Lmax capacity (an edge list has no header, so there is no m to
+  /// derive an absolute capacity from). Compounds to roughly
+  /// (1 + epsilon)^levels - 1 total edge imbalance.
+  double epsilon = 0.05;
+  /// Salt of the hashing algorithms (DBH, Grid); HDRF is seed-free.
+  std::uint64_t seed = 1;
+};
+
+class StreamingEdgePartitioner {
+public:
+  explicit StreamingEdgePartitioner(const EdgePartConfig& config)
+      : config_(config),
+        replicas_(config.k),
+        edge_loads_(static_cast<std::size_t>(config.k), 0) {
+    OMS_ASSERT_MSG(config.k >= 1, "edge partitioning needs k >= 1");
+  }
+  virtual ~StreamingEdgePartitioner() = default;
+
+  StreamingEdgePartitioner(const StreamingEdgePartitioner&) = delete;
+  StreamingEdgePartitioner& operator=(const StreamingEdgePartitioner&) = delete;
+
+  /// Permanently place \p edge: pick a block, replicate both endpoints
+  /// there, account the edge load. Returns the chosen block in [0, k).
+  BlockId assign(const StreamedEdge& edge) {
+    const BlockId block = choose_block(edge);
+    OMS_HEAVY_ASSERT(block >= 0 && block < config_.k);
+    const std::size_t rows =
+        static_cast<std::size_t>(edge.u > edge.v ? edge.u : edge.v) + 1;
+    replicas_.ensure_rows(rows);
+    replicas_.set(edge.u, block);
+    replicas_.set(edge.v, block);
+    edge_loads_[static_cast<std::size_t>(block)] += edge.weight;
+    edge_assignment_.push_back(block);
+    on_placed(edge, block);
+    return block;
+  }
+
+  [[nodiscard]] BlockId num_blocks() const noexcept { return config_.k; }
+  [[nodiscard]] const EdgePartConfig& config() const noexcept { return config_; }
+
+  /// Replica sets built so far: row = vertex id, bit = block.
+  [[nodiscard]] const BitsetTable& replicas() const noexcept { return replicas_; }
+
+  /// Accumulated edge weight per block.
+  [[nodiscard]] std::span<const EdgeWeight> edge_loads() const noexcept {
+    return edge_loads_;
+  }
+
+  /// Block of the i-th streamed edge, in stream order.
+  [[nodiscard]] const std::vector<BlockId>& edge_assignment() const noexcept {
+    return edge_assignment_;
+  }
+
+  /// Release the per-edge assignment (partitioner is done afterwards).
+  [[nodiscard]] std::vector<BlockId> take_edge_assignment() {
+    return std::move(edge_assignment_);
+  }
+
+protected:
+  /// Score the candidate blocks for \p edge. Called exactly once per edge,
+  /// *before* the base class updates replicas/loads; may update
+  /// algorithm-private state (e.g. partial degrees).
+  [[nodiscard]] virtual BlockId choose_block(const StreamedEdge& edge) = 0;
+
+  /// Hook after the shared state was updated (e.g. hierarchical subtree
+  /// load accounting).
+  virtual void on_placed(const StreamedEdge& edge, BlockId block) {
+    (void)edge;
+    (void)block;
+  }
+
+private:
+  EdgePartConfig config_;
+  BitsetTable replicas_;
+  std::vector<EdgeWeight> edge_loads_;
+  std::vector<BlockId> edge_assignment_;
+};
+
+/// Partial-degree table of the one-pass model: the degree of a vertex *as
+/// seen so far* in the stream (HDRF and DBH decide from these — the true
+/// degrees are unknowable without a second pass).
+class PartialDegrees {
+public:
+  /// Count one more incident edge at \p v and return the new partial degree.
+  std::uint32_t increment(NodeId v) {
+    if (static_cast<std::size_t>(v) >= degrees_.size()) {
+      std::size_t capacity = degrees_.size() == 0 ? 16 : degrees_.size();
+      while (capacity <= static_cast<std::size_t>(v)) {
+        capacity *= 2;
+      }
+      degrees_.resize(capacity, 0);
+    }
+    return ++degrees_[v];
+  }
+
+  [[nodiscard]] std::uint32_t of(NodeId v) const noexcept {
+    return static_cast<std::size_t>(v) < degrees_.size() ? degrees_[v] : 0;
+  }
+
+private:
+  std::vector<std::uint32_t> degrees_;
+};
+
+} // namespace oms

@@ -1,0 +1,69 @@
+/// \file grid2d.hpp
+/// \brief Grid / 2D constrained hashing (the PowerGraph "grid" ingress):
+///        blocks form an r x c grid, each vertex hashes to one cell, and an
+///        edge may only go to the two cells where its endpoints' row and
+///        column constraint sets intersect — every vertex is replicated on
+///        at most r + c - 1 blocks by construction.
+///
+/// For edge (u, v) the candidates are (row(u), col(v)) and (row(v), col(u));
+/// the less loaded one wins (ties to the lower block id). k that is not a
+/// product of two near-equal factors leaves k - r*c blocks unused — the
+/// constructor picks the factorization maximizing r*c coverage with the most
+/// square aspect.
+#pragma once
+
+#include "oms/edgepart/edge_partitioner.hpp"
+#include "oms/util/random.hpp"
+
+namespace oms {
+
+class Grid2dPartitioner final : public StreamingEdgePartitioner {
+public:
+  explicit Grid2dPartitioner(const EdgePartConfig& config)
+      : StreamingEdgePartitioner(config) {
+    // Best r <= sqrt(k): maximize covered blocks r*(k/r), preferring the
+    // squarer grid on ties (replication bound r + c - 1 is smallest there).
+    const BlockId k = config.k;
+    rows_ = 1;
+    cols_ = k;
+    for (BlockId r = 1; static_cast<std::int64_t>(r) * r <= k; ++r) {
+      const BlockId c = k / r;
+      if (r * c >= rows_ * cols_) {
+        rows_ = r;
+        cols_ = c;
+      }
+    }
+  }
+
+  [[nodiscard]] BlockId grid_rows() const noexcept { return rows_; }
+  [[nodiscard]] BlockId grid_cols() const noexcept { return cols_; }
+
+protected:
+  [[nodiscard]] BlockId choose_block(const StreamedEdge& edge) override {
+    const BlockId cell_u = cell_of(edge.u);
+    const BlockId cell_v = cell_of(edge.v);
+    const BlockId cand1 = (cell_u / cols_) * cols_ + cell_v % cols_;
+    const BlockId cand2 = (cell_v / cols_) * cols_ + cell_u % cols_;
+    if (cand1 == cand2) {
+      return cand1;
+    }
+    const std::span<const EdgeWeight> loads = edge_loads();
+    const EdgeWeight load1 = loads[static_cast<std::size_t>(cand1)];
+    const EdgeWeight load2 = loads[static_cast<std::size_t>(cand2)];
+    if (load1 != load2) {
+      return load1 < load2 ? cand1 : cand2;
+    }
+    return cand1 < cand2 ? cand1 : cand2;
+  }
+
+private:
+  [[nodiscard]] BlockId cell_of(NodeId v) const noexcept {
+    const std::uint64_t hash = hash_combine(config().seed, v);
+    return static_cast<BlockId>(hash % static_cast<std::uint64_t>(rows_ * cols_));
+  }
+
+  BlockId rows_ = 1;
+  BlockId cols_ = 1;
+};
+
+} // namespace oms

@@ -1,0 +1,49 @@
+#include "oms/edgepart/hdrf.hpp"
+
+namespace oms {
+
+BlockId HdrfPartitioner::choose_block(const StreamedEdge& edge) {
+  // Partial degrees are bumped on arrival, before scoring, per the original
+  // streaming formulation (the edge itself is evidence of degree).
+  const auto du = static_cast<double>(degrees_.increment(edge.u));
+  const auto dv = static_cast<double>(degrees_.increment(edge.v));
+  const double degree_sum = du + dv;
+  // theta(x) in the paper: the *normalized complement* of x's degree share —
+  // rewarding the block that already holds the lower-degree endpoint.
+  const double gain_u = 1.0 + (1.0 - du / degree_sum);
+  const double gain_v = 1.0 + (1.0 - dv / degree_sum);
+
+  const std::span<const EdgeWeight> loads = edge_loads();
+  const BitsetTable& reps = replicas();
+  const BlockId k = num_blocks();
+
+  EdgeWeight min_load = loads[0];
+  EdgeWeight max_load = loads[0];
+  for (BlockId b = 1; b < k; ++b) {
+    const EdgeWeight load = loads[static_cast<std::size_t>(b)];
+    min_load = load < min_load ? load : min_load;
+    max_load = load > max_load ? load : max_load;
+  }
+  const double balance_range = 1.0 + static_cast<double>(max_load - min_load);
+
+  BlockId best = 0;
+  double best_score = -1.0;
+  for (BlockId b = 0; b < k; ++b) {
+    double score = config().lambda *
+                   static_cast<double>(max_load - loads[static_cast<std::size_t>(b)]) /
+                   balance_range;
+    if (reps.test(edge.u, b)) {
+      score += gain_u;
+    }
+    if (reps.test(edge.v, b)) {
+      score += gain_v;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = b;
+    }
+  }
+  return best;
+}
+
+} // namespace oms

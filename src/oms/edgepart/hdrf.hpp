@@ -1,0 +1,31 @@
+/// \file hdrf.hpp
+/// \brief HDRF — High-Degree Replicated First (Petroni et al., CIKM'15) —
+///        the reference one-pass vertex-cut heuristic.
+///
+/// For each edge (u, v) every block b is scored
+///   C(b) = g(u, b) + g(v, b) + lambda * bal(b)
+/// where g(x, b) = 1 + (1 - d(x) / (d(u) + d(v))) if x already has a replica
+/// on b and 0 otherwise (d = *partial* degree, so the lower-degree endpoint
+/// contributes the larger reward — high-degree vertices get replicated
+/// first, keeping low-degree vertices intact), and
+/// bal(b) = (max_load - load(b)) / (1 + max_load - min_load).
+/// Ties break to the lowest block id, so a run is fully deterministic.
+#pragma once
+
+#include "oms/edgepart/edge_partitioner.hpp"
+
+namespace oms {
+
+class HdrfPartitioner final : public StreamingEdgePartitioner {
+public:
+  explicit HdrfPartitioner(const EdgePartConfig& config)
+      : StreamingEdgePartitioner(config) {}
+
+protected:
+  [[nodiscard]] BlockId choose_block(const StreamedEdge& edge) override;
+
+private:
+  PartialDegrees degrees_;
+};
+
+} // namespace oms

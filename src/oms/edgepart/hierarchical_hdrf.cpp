@@ -1,0 +1,139 @@
+#include "oms/edgepart/hierarchical_hdrf.hpp"
+
+namespace oms {
+namespace {
+
+EdgePartConfig with_k(EdgePartConfig config, BlockId k) {
+  config.k = k;
+  return config;
+}
+
+} // namespace
+
+HierarchicalHdrfPartitioner::HierarchicalHdrfPartitioner(
+    const SystemHierarchy& topo, const EdgePartConfig& config)
+    : StreamingEdgePartitioner(with_k(config, topo.num_pes())),
+      topo_(topo),
+      tree_(MultisectionTree::regular(topo.extents_top_down())) {
+  tree_loads_.assign(tree_.num_blocks(), 0);
+  leaf_tree_id_.resize(static_cast<std::size_t>(topo_.num_pes()));
+  for (BlockId b = 0; b < topo_.num_pes(); ++b) {
+    leaf_tree_id_[static_cast<std::size_t>(b)] =
+        static_cast<std::int32_t>(tree_.leaf_block_id(b));
+  }
+  // The root (depth 0) splits the outermost level l whose distance is
+  // distances[l-1]; depth d splits level l-d. Affinity is *boosted* by the
+  // distance a crossing at that layer would commit, normalized by the
+  // innermost (cheapest) distance: the leaf layer scores exactly like flat
+  // HDRF, while at the node layer keeping a vertex's replicas together
+  // outweighs the balance nudge in proportion to d_level / d_1. (Scaling
+  // affinity *down* at cheap layers instead would leave inner modules to
+  // pure balance, spraying replicas — the opposite of the objective.)
+  const std::size_t levels = topo_.num_levels();
+  const auto d_inner = static_cast<double>(topo_.distances().front());
+  depth_weight_.resize(levels, 1.0);
+  for (std::size_t depth = 0; depth < levels; ++depth) {
+    const std::int64_t d = topo_.distances()[levels - 1 - depth];
+    depth_weight_[depth] = d_inner > 0.0 ? static_cast<double>(d) / d_inner : 1.0;
+  }
+}
+
+BlockId HierarchicalHdrfPartitioner::choose_block(const StreamedEdge& edge) {
+  const auto du = static_cast<double>(degrees_.increment(edge.u));
+  const auto dv = static_cast<double>(degrees_.increment(edge.v));
+  const double degree_sum = du + dv;
+  const double gain_u = 1.0 + (1.0 - du / degree_sum);
+  const double gain_v = 1.0 + (1.0 - dv / degree_sum);
+  const BitsetTable& reps = replicas();
+  const double lambda = config().lambda;
+  const std::uint32_t total_u = reps.count_row(edge.u);
+  const std::uint32_t total_v = reps.count_row(edge.v);
+
+  const double epsilon = config().epsilon;
+  std::size_t blk_id = 0;
+  const MultisectionTree::Block* blk = &tree_.root();
+  while (!blk->is_leaf()) {
+    const std::int32_t first = blk->first_child;
+    const std::int32_t count = blk->num_children;
+    EdgeWeight min_load = tree_loads_[static_cast<std::size_t>(first)];
+    EdgeWeight max_load = min_load;
+    for (std::int32_t c = 1; c < count; ++c) {
+      const EdgeWeight load = tree_loads_[static_cast<std::size_t>(first + c)];
+      min_load = load < min_load ? load : min_load;
+      max_load = load > max_load ? load : max_load;
+    }
+    const double balance_range = 1.0 + static_cast<double>(max_load - min_load);
+    const double level_weight =
+        depth_weight_[static_cast<std::size_t>(blk->depth)];
+    // Online per-layer capacity: a child already holding more than its fair
+    // share (with epsilon slack) of the parent's load — counting the edge
+    // about to land — is out, however strong its replica affinity. The
+    // distance-boosted affinity would otherwise hoard connected graphs into
+    // one module of the expensive layers.
+    const double parent_load = static_cast<double>(
+        tree_loads_[blk_id] + edge.weight);
+    const double capacity =
+        (1.0 + epsilon) * parent_load / static_cast<double>(count) + 1.0;
+
+    std::int32_t best = -1;
+    double best_score = -1.0;
+    std::int32_t least_loaded = first;
+    for (std::int32_t c = 0; c < count; ++c) {
+      const auto child_id = static_cast<std::size_t>(first + c);
+      if (tree_loads_[child_id] <
+          tree_loads_[static_cast<std::size_t>(least_loaded)]) {
+        least_loaded = first + c;
+      }
+      const double new_load =
+          static_cast<double>(tree_loads_[child_id] + edge.weight);
+      if (new_load > capacity) {
+        continue;
+      }
+      const MultisectionTree::Block& child = tree_.block(child_id);
+      double score = lambda *
+                     static_cast<double>(max_load - tree_loads_[child_id]) /
+                     balance_range;
+      // Module affinity graded by the *share* of the endpoint's replicas the
+      // module holds: a binary probe would credit every module a hub has
+      // touched equally, erasing the signal exactly on the streams where it
+      // matters most. Single-replica vertices (the common case HDRF protects)
+      // reduce to the binary probe.
+      const std::uint32_t in_u =
+          reps.count_in_range(edge.u, child.leaf_begin, child.leaf_end);
+      if (in_u > 0) {
+        score += level_weight * gain_u * static_cast<double>(in_u) /
+                 static_cast<double>(total_u);
+      }
+      const std::uint32_t in_v =
+          reps.count_in_range(edge.v, child.leaf_begin, child.leaf_end);
+      if (in_v > 0) {
+        score += level_weight * gain_v * static_cast<double>(in_v) /
+                 static_cast<double>(total_v);
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = first + c;
+      }
+    }
+    if (best < 0) {
+      // Heavy edge weights can push every child past the fair-share cap;
+      // the least-loaded child is the balance-optimal fallback.
+      best = least_loaded;
+    }
+    blk_id = static_cast<std::size_t>(best);
+    blk = &tree_.block(blk_id);
+  }
+  return blk->leaf_begin;
+}
+
+void HierarchicalHdrfPartitioner::on_placed(const StreamedEdge& edge,
+                                            BlockId block) {
+  // Subtree loads along the leaf-to-root path back the sibling balance term.
+  std::int32_t id = leaf_tree_id_[static_cast<std::size_t>(block)];
+  while (id >= 0) {
+    tree_loads_[static_cast<std::size_t>(id)] += edge.weight;
+    id = tree_.block(static_cast<std::size_t>(id)).parent;
+  }
+}
+
+} // namespace oms

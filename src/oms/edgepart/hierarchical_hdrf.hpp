@@ -1,0 +1,58 @@
+/// \file hierarchical_hdrf.hpp
+/// \brief Hierarchy-aware HDRF: the paper's recursive multi-section applied
+///        to the vertex-cut model — process mapping for edge partitions.
+///
+/// Plain HDRF treats all k blocks as equidistant, but on a hierarchical
+/// system (cores within processors within nodes, distances d1 < ... < dl)
+/// replicas of the same vertex that land in different *nodes* cost far more
+/// to synchronize than replicas within one processor. This partitioner
+/// descends the MultisectionTree built from the topology (top layer first,
+/// exactly like the online multi-section descends for node streams) and
+/// scores each child module with the HDRF terms
+///   C(child) = w_level * (g(u, child) + g(v, child)) + lambda * bal(child)
+/// where g rewards a module holding replicas of the endpoint in its leaf
+/// range (graded by the *share* of the endpoint's replicas it holds), bal
+/// balances *subtree* edge loads among siblings under a per-layer fair-share
+/// capacity, and w_level = d_level / d_1 boosts the replica affinity by the
+/// communication distance the choice is about to commit, relative to the
+/// innermost (cheapest) level: the leaf layer scores exactly like flat HDRF
+/// and keeping replicas together matters most at the outermost layer.
+/// The optimized objective is the weighted replica communication cost that
+/// hierarchical_replica_cost() measures, which reduces to the replication
+/// factor objective when all distances are equal.
+#pragma once
+
+#include <vector>
+
+#include "oms/core/multisection_tree.hpp"
+#include "oms/edgepart/edge_partitioner.hpp"
+#include "oms/mapping/hierarchy.hpp"
+
+namespace oms {
+
+class HierarchicalHdrfPartitioner final : public StreamingEdgePartitioner {
+public:
+  /// \p config.k is ignored: the block count is \p topo.num_pes().
+  HierarchicalHdrfPartitioner(const SystemHierarchy& topo,
+                              const EdgePartConfig& config);
+
+  [[nodiscard]] const SystemHierarchy& topology() const noexcept { return topo_; }
+
+protected:
+  [[nodiscard]] BlockId choose_block(const StreamedEdge& edge) override;
+  void on_placed(const StreamedEdge& edge, BlockId block) override;
+
+private:
+  SystemHierarchy topo_;
+  MultisectionTree tree_;
+  PartialDegrees degrees_;
+  /// Accumulated edge weight per tree block (subtree totals) — the sibling
+  /// balance term of the descent; O(2k) like the tree itself.
+  std::vector<EdgeWeight> tree_loads_;
+  /// Tree block id of each final block's leaf, for the upward load walk.
+  std::vector<std::int32_t> leaf_tree_id_;
+  /// d_level / d_max per internal-block depth (root = outermost level).
+  std::vector<double> depth_weight_;
+};
+
+} // namespace oms

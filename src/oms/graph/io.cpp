@@ -124,6 +124,37 @@ void write_metis(const CsrGraph& graph, const std::string& path) {
   OMS_ASSERT_MSG(out.good(), "write failure");
 }
 
+void write_edge_list(const CsrGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  OMS_ASSERT_MSG(out.good(), "cannot open file for writing");
+
+  bool edge_weights = false;
+  for (const EdgeWeight w : graph.raw_adjwgt()) {
+    if (w != 1) {
+      edge_weights = true;
+      break;
+    }
+  }
+
+  out << "# edge list of " << graph.num_nodes() << " nodes, "
+      << graph.num_edges() << " edges\n";
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const auto neigh = graph.neighbors(u);
+    const auto weights = graph.incident_weights(u);
+    for (std::size_t i = 0; i < neigh.size(); ++i) {
+      if (neigh[i] <= u) {
+        continue; // each undirected edge once, u < v
+      }
+      out << u << ' ' << neigh[i];
+      if (edge_weights) {
+        out << ' ' << weights[i];
+      }
+      out << '\n';
+    }
+  }
+  OMS_ASSERT_MSG(out.good(), "write failure");
+}
+
 CsrGraph read_metis(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) {

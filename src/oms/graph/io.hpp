@@ -28,4 +28,10 @@ void write_metis(const CsrGraph& graph, const std::string& path);
 void write_binary(const CsrGraph& graph, const std::string& path);
 [[nodiscard]] CsrGraph read_binary(const std::string& path);
 
+/// Write as a SNAP-style whitespace edge list (`u v` or `u v w` per line,
+/// 0-based ids, each undirected edge once with u < v) — the input of
+/// EdgeListStream and the vertex-cut partitioners. Unit weights omit the
+/// third column.
+void write_edge_list(const CsrGraph& graph, const std::string& path);
+
 } // namespace oms

@@ -76,4 +76,67 @@ BlockId num_non_empty_blocks(std::span<const BlockId> partition, BlockId k) {
   return static_cast<BlockId>(std::count(seen.begin(), seen.end(), true));
 }
 
+double replication_factor(const BitsetTable& replicas) {
+  std::uint64_t total_replicas = 0;
+  std::uint64_t occurring = 0;
+  for (std::size_t row = 0; row < replicas.num_rows(); ++row) {
+    const std::uint32_t count = replicas.count_row(row);
+    if (count > 0) {
+      total_replicas += count;
+      ++occurring;
+    }
+  }
+  if (occurring == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_replicas) / static_cast<double>(occurring);
+}
+
+Cost replication_overhead(const BitsetTable& replicas) {
+  Cost overhead = 0;
+  for (std::size_t row = 0; row < replicas.num_rows(); ++row) {
+    const std::uint32_t count = replicas.count_row(row);
+    if (count > 0) {
+      overhead += static_cast<Cost>(count) - 1;
+    }
+  }
+  return overhead;
+}
+
+double edge_imbalance(std::span<const EdgeWeight> edge_loads) {
+  OMS_ASSERT_MSG(!edge_loads.empty(), "edge_imbalance needs at least one block");
+  EdgeWeight total = 0;
+  EdgeWeight heaviest = 0;
+  for (const EdgeWeight load : edge_loads) {
+    total += load;
+    heaviest = load > heaviest ? load : heaviest;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  const double perfect =
+      static_cast<double>(total) / static_cast<double>(edge_loads.size());
+  return static_cast<double>(heaviest) / perfect - 1.0;
+}
+
+Cost hierarchical_replica_cost(const BitsetTable& replicas,
+                               const SystemHierarchy& topo) {
+  OMS_ASSERT_MSG(replicas.bits_per_row() <= topo.num_pes(),
+                 "replica table wider than the topology");
+  Cost cost = 0;
+  for (std::size_t row = 0; row < replicas.num_rows(); ++row) {
+    BlockId master = kInvalidBlock;
+    Cost row_cost = 0;
+    replicas.for_each_set(row, [&](BlockId b) {
+      if (master == kInvalidBlock) {
+        master = b; // lowest set bit: for_each_set iterates ascending
+      } else {
+        row_cost += static_cast<Cost>(topo.distance(master, b));
+      }
+    });
+    cost += row_cost;
+  }
+  return cost;
+}
+
 } // namespace oms

@@ -1,13 +1,17 @@
 /// \file metrics.hpp
-/// \brief Partition quality metrics: edge-cut, imbalance, and validity
-///        checking — the objective functions of the paper's GP experiments.
+/// \brief Partition quality metrics — edge-cut, imbalance, and validity for
+///        node partitions (the paper's GP experiments), plus the vertex-cut
+///        objectives of the streaming edge partitioners (replication factor,
+///        edge balance, hierarchical replica cost).
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "oms/graph/csr_graph.hpp"
+#include "oms/mapping/hierarchy.hpp"
 #include "oms/types.hpp"
+#include "oms/util/dense_bitset.hpp"
 
 namespace oms {
 
@@ -33,5 +37,32 @@ void verify_partition(const CsrGraph& graph, std::span<const BlockId> partition,
 
 /// Number of blocks that actually received at least one node.
 [[nodiscard]] BlockId num_non_empty_blocks(std::span<const BlockId> partition, BlockId k);
+
+// --- Vertex-cut (edge partitioning) metrics -------------------------------
+// A vertex-cut partition is described by its replica table (row = vertex,
+// bit = block that holds at least one of the vertex's edges) and the edge
+// load per block, both produced by a StreamingEdgePartitioner.
+
+/// Average number of replicas per *occurring* vertex (rows with no replica —
+/// isolated ids in a sparse universe — are excluded). 1.0 is the ideal
+/// (every vertex whole); k is the worst case.
+[[nodiscard]] double replication_factor(const BitsetTable& replicas);
+
+/// Total replicas minus the number of occurring vertices: the vertex-cut
+/// analogue of the communication-volume objective (each extra replica is one
+/// synchronization channel).
+[[nodiscard]] Cost replication_overhead(const BitsetTable& replicas);
+
+/// max_b load(b) * k / sum(load) - 1, the edge-load analogue of
+/// imbalance(); 0 means perfectly balanced, k over the loads' size.
+[[nodiscard]] double edge_imbalance(std::span<const EdgeWeight> edge_loads);
+
+/// Distance-weighted replica synchronization cost: for every vertex, its
+/// lowest-id replica acts as the master and each further replica pays the
+/// topology distance to it. With all level distances equal to d this is
+/// d * replication_overhead(); hierarchy-aware partitioners lower it by
+/// keeping each vertex's replicas inside cheap (inner) modules.
+[[nodiscard]] Cost hierarchical_replica_cost(const BitsetTable& replicas,
+                                             const SystemHierarchy& topo);
 
 } // namespace oms

@@ -1,0 +1,102 @@
+#include "oms/stream/edge_list_stream.hpp"
+
+#include <limits>
+
+namespace oms {
+namespace {
+
+// kInvalidNode is reserved as the "no node" sentinel, so the largest usable
+// endpoint id is one below it.
+constexpr std::int64_t kMaxEndpoint =
+    static_cast<std::int64_t>(std::numeric_limits<NodeId>::max()) - 1;
+
+} // namespace
+
+EdgeListStream::EdgeListStream(const std::string& path, std::size_t buffer_bytes)
+    : reader_(path, buffer_bytes) {}
+
+void EdgeListStream::fail(const std::string& message) const {
+  throw IoError(reader_.path() + ":" + std::to_string(reader_.line_no()) + ": " +
+                message);
+}
+
+bool EdgeListStream::parse_next(StreamedEdge& out) {
+  const auto bad_token = [this] { fail("malformed integer token in edge line"); };
+  std::string_view line;
+  while (reader_.next_line(line)) {
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    IntScanner tokens(line);
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    if (!tokens.next(u, bad_token)) {
+      continue; // whitespace-only line
+    }
+    if (!tokens.next(v, bad_token)) {
+      fail("truncated edge line (one endpoint)");
+    }
+    if (u < 0 || u > kMaxEndpoint || v < 0 || v > kMaxEndpoint) {
+      fail("endpoint id out of range [0, " + std::to_string(kMaxEndpoint) + "]");
+    }
+    std::int64_t w = 1;
+    if (tokens.next(w, bad_token)) {
+      if (w < 1) {
+        fail("non-positive edge weight " + std::to_string(w));
+      }
+      std::int64_t junk = 0;
+      if (tokens.next(junk, bad_token)) {
+        fail("trailing tokens in edge line");
+      }
+    }
+    if (u == v) {
+      ++self_loops_skipped_;
+      continue;
+    }
+    out.u = static_cast<NodeId>(u);
+    out.v = static_cast<NodeId>(v);
+    out.weight = w;
+    if (out.u > max_vertex_id_) {
+      max_vertex_id_ = out.u;
+    }
+    if (out.v > max_vertex_id_) {
+      max_vertex_id_ = out.v;
+    }
+    ++edges_delivered_;
+    return true;
+  }
+  // First end-of-file: a stream that produced nothing is a malformed input
+  // (a typo'd path full of comments should not silently "partition" zero
+  // edges), reported through the same IoError channel as parse errors.
+  if (!exhausted_) {
+    exhausted_ = true;
+    if (edges_delivered_ == 0) {
+      fail("empty edge list (no edges before end of file)");
+    }
+  }
+  return false;
+}
+
+bool EdgeListStream::next(StreamedEdge& out) { return parse_next(out); }
+
+std::size_t EdgeListStream::fill_batch(EdgeBatch& batch, std::size_t max_edges) {
+  batch.reset();
+  StreamedEdge edge;
+  while (batch.size() < max_edges) {
+    if (!parse_next(edge)) {
+      break;
+    }
+    batch.push(edge);
+  }
+  return batch.size();
+}
+
+void EdgeListStream::rewind() {
+  reader_.seek(0, 0);
+  edges_delivered_ = 0;
+  self_loops_skipped_ = 0;
+  max_vertex_id_ = 0;
+  exhausted_ = false;
+}
+
+} // namespace oms

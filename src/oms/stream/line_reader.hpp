@@ -1,0 +1,195 @@
+/// \file line_reader.hpp
+/// \brief The buffered raw-read machinery shared by the disk-streaming
+///        parsers (METIS node stream, SNAP edge-list stream).
+///
+/// One reusable chunk buffer, lines located with memchr, integers parsed in
+/// place — no per-line getline, no per-line string copies. Malformed
+/// *content* is the caller's concern; this layer only raises oms::IoError
+/// for I/O-level failures (unopenable file, read error).
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "oms/util/io_error.hpp"
+
+namespace oms {
+
+/// Whitespace-separated integer scanner over one borrowed line. Non-numeric
+/// bytes are a *content* error, reported through the caller's error handler.
+class IntScanner {
+public:
+  explicit IntScanner(std::string_view line) noexcept
+      : cur_(line.data()), end_(line.data() + line.size()) {}
+
+  /// True and \p out filled if another token exists; false at end of line.
+  /// \p on_error is invoked (and must not return) on a malformed token.
+  template <typename OnError>
+  bool next(std::int64_t& out, OnError&& on_error) {
+    while (cur_ < end_ && (*cur_ == ' ' || *cur_ == '\t' || *cur_ == '\r')) {
+      ++cur_;
+    }
+    if (cur_ >= end_) {
+      return false;
+    }
+    // Fast path: bare digit runs (every token of a well-formed file). Up to
+    // 18 digits cannot overflow int64, so the accumulation needs no
+    // per-digit checks; signs and longer runs fall back to from_chars for
+    // identical semantics including range errors.
+    std::uint64_t value = 0;
+    const char* p = cur_;
+    while (p < end_ && p - cur_ < 18) {
+      const unsigned digit = static_cast<unsigned>(*p) - '0';
+      if (digit > 9) {
+        break;
+      }
+      value = value * 10 + digit;
+      ++p;
+    }
+    if (p > cur_ && (p == end_ || (static_cast<unsigned>(*p) - '0') > 9)) {
+      out = static_cast<std::int64_t>(value);
+      cur_ = p;
+      return true;
+    }
+    const auto [ptr, ec] = std::from_chars(cur_, end_, out);
+    if (ec != std::errc{}) {
+      on_error();
+    }
+    cur_ = ptr;
+    return true;
+  }
+
+private:
+  const char* cur_;
+  const char* end_;
+};
+
+/// Buffered line-by-line file reader. The view returned by next_line()
+/// borrows the chunk buffer and dies at the next call; lines longer than the
+/// buffer grow it transparently.
+class BufferedLineReader {
+public:
+  explicit BufferedLineReader(const std::string& path, std::size_t buffer_bytes)
+      : file_(std::fopen(path.c_str(), "rb")), path_(path) {
+    if (file_ == nullptr) {
+      throw IoError("cannot open graph stream file '" + path + "'");
+    }
+    // The chunk buffer *is* the buffering; a second stdio copy would only
+    // cost memcpys. Tiny capacities are allowed (tests use them to exercise
+    // the refill seams) but need room for one memmove-and-read step.
+    buffer_.resize(buffer_bytes < 64 ? 64 : buffer_bytes);
+    std::setvbuf(file_.get(), nullptr, _IONBF, 0);
+  }
+
+  BufferedLineReader(const BufferedLineReader&) = delete;
+  BufferedLineReader& operator=(const BufferedLineReader&) = delete;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// 1-based number of the line most recently returned by next_line().
+  [[nodiscard]] std::uint64_t line_no() const noexcept { return line_no_; }
+
+  /// File offset of the first byte that next_line() has not yet returned.
+  [[nodiscard]] std::uint64_t next_offset() const noexcept {
+    return consumed_base_ + pos_;
+  }
+
+  /// Next raw line (without the newline); false at end of file.
+  [[nodiscard]] bool next_line(std::string_view& line) {
+    while (true) {
+      const std::size_t search_from = pos_ + scanned_;
+      if (search_from < end_) {
+        const void* nl =
+            std::memchr(buffer_.data() + search_from, '\n', end_ - search_from);
+        if (nl != nullptr) {
+          const auto nl_pos = static_cast<std::size_t>(
+              static_cast<const char*>(nl) - buffer_.data());
+          line = std::string_view(buffer_.data() + pos_, nl_pos - pos_);
+          pos_ = nl_pos + 1;
+          scanned_ = 0;
+          ++line_no_;
+          return true;
+        }
+      }
+      if (eof_) {
+        if (pos_ < end_) { // final line without a trailing newline
+          line = std::string_view(buffer_.data() + pos_, end_ - pos_);
+          pos_ = end_;
+          scanned_ = 0;
+          ++line_no_;
+          return true;
+        }
+        return false;
+      }
+      scanned_ = end_ - pos_; // everything so far holds no newline
+      refill();
+    }
+  }
+
+  /// Seek back to \p offset and resume counting lines from \p line_no (used
+  /// by rewind(): the caller remembers where its data section starts).
+  void seek(std::uint64_t offset, std::uint64_t line_no) {
+    // 64-bit seek: std::fseek takes long, which truncates >= 2 GiB offsets
+    // on LLP64/LP32 platforms; graphs that size are exactly the
+    // disk-streaming use case.
+#if defined(_WIN32)
+    const int rc = _fseeki64(file_.get(), static_cast<__int64>(offset), SEEK_SET);
+#else
+    const int rc = fseeko(file_.get(), static_cast<off_t>(offset), SEEK_SET);
+#endif
+    if (rc != 0) {
+      throw IoError(path_ + ": cannot seek back to the data section");
+    }
+    pos_ = 0;
+    end_ = 0;
+    scanned_ = 0;
+    eof_ = false;
+    consumed_base_ = offset;
+    line_no_ = line_no;
+  }
+
+private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const noexcept { std::fclose(f); }
+  };
+
+  /// Slide the unconsumed tail to the front and read another chunk.
+  void refill() {
+    if (pos_ > 0) {
+      std::memmove(buffer_.data(), buffer_.data() + pos_, end_ - pos_);
+      consumed_base_ += pos_;
+      end_ -= pos_;
+      pos_ = 0;
+    }
+    if (end_ == buffer_.size()) {
+      buffer_.resize(buffer_.size() * 2); // line longer than the buffer: grow
+    }
+    const std::size_t got =
+        std::fread(buffer_.data() + end_, 1, buffer_.size() - end_, file_.get());
+    if (got == 0) {
+      if (std::ferror(file_.get()) != 0) {
+        throw IoError(path_ + ":" + std::to_string(line_no_) + ": read error");
+      }
+      eof_ = true;
+    }
+    end_ += got;
+  }
+
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::string path_;
+  std::vector<char> buffer_;
+  std::size_t pos_ = 0;     ///< first unconsumed byte in buffer_
+  std::size_t end_ = 0;     ///< one past the last valid byte in buffer_
+  std::size_t scanned_ = 0; ///< bytes past pos_ already searched for '\n'
+  bool eof_ = false;
+  std::uint64_t consumed_base_ = 0; ///< file offset of buffer_[0]
+  std::uint64_t line_no_ = 0;
+};
+
+} // namespace oms

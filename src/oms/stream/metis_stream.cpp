@@ -1,140 +1,26 @@
 #include "oms/stream/metis_stream.hpp"
 
-#include <algorithm>
-#include <charconv>
-#include <cstring>
 #include <limits>
 
 #include "oms/util/assert.hpp"
 #include "oms/util/timer.hpp"
 
 namespace oms {
-namespace {
-
-/// Whitespace-separated integer scanner over one borrowed line. Non-numeric
-/// bytes are a *content* error, reported through the owner's fail().
-class Tokens {
-public:
-  explicit Tokens(std::string_view line) noexcept
-      : cur_(line.data()), end_(line.data() + line.size()) {}
-
-  /// True and \p out filled if another token exists; false at end of line.
-  /// \p on_error is invoked (and must not return) on a malformed token.
-  template <typename OnError>
-  bool next(std::int64_t& out, OnError&& on_error) {
-    while (cur_ < end_ && (*cur_ == ' ' || *cur_ == '\t' || *cur_ == '\r')) {
-      ++cur_;
-    }
-    if (cur_ >= end_) {
-      return false;
-    }
-    // Fast path: bare digit runs (every token of a well-formed METIS file).
-    // Up to 18 digits cannot overflow int64, so the accumulation needs no
-    // per-digit checks; signs and longer runs fall back to from_chars for
-    // identical semantics including range errors.
-    std::uint64_t value = 0;
-    const char* p = cur_;
-    while (p < end_ && p - cur_ < 18) {
-      const unsigned digit = static_cast<unsigned>(*p) - '0';
-      if (digit > 9) {
-        break;
-      }
-      value = value * 10 + digit;
-      ++p;
-    }
-    if (p > cur_ && (p == end_ || (static_cast<unsigned>(*p) - '0') > 9)) {
-      out = static_cast<std::int64_t>(value);
-      cur_ = p;
-      return true;
-    }
-    const auto [ptr, ec] = std::from_chars(cur_, end_, out);
-    if (ec != std::errc{}) {
-      on_error();
-    }
-    cur_ = ptr;
-    return true;
-  }
-
-private:
-  const char* cur_;
-  const char* end_;
-};
-
-} // namespace
 
 MetisNodeStream::MetisNodeStream(const std::string& path, std::size_t buffer_bytes)
-    : file_(std::fopen(path.c_str(), "rb")), path_(path) {
-  if (file_ == nullptr) {
-    throw IoError("cannot open graph stream file '" + path + "'");
-  }
-  // The chunk buffer *is* the buffering; a second stdio copy would only cost
-  // memcpys. Tiny capacities are allowed (tests use them to exercise the
-  // refill seams) but need room for at least one memmove-and-read step.
-  buffer_.resize(std::max<std::size_t>(buffer_bytes, 64));
-  std::setvbuf(file_.get(), nullptr, _IONBF, 0);
+    : reader_(path, buffer_bytes) {
   read_header();
 }
 
 void MetisNodeStream::fail(const std::string& message) const {
-  throw IoError(path_ + ":" + std::to_string(line_no_) + ": " + message);
-}
-
-void MetisNodeStream::refill() {
-  if (pos_ > 0) {
-    std::memmove(buffer_.data(), buffer_.data() + pos_, end_ - pos_);
-    consumed_base_ += pos_;
-    end_ -= pos_;
-    pos_ = 0;
-  }
-  if (end_ == buffer_.size()) {
-    buffer_.resize(buffer_.size() * 2); // line longer than the buffer: grow
-  }
-  const std::size_t got =
-      std::fread(buffer_.data() + end_, 1, buffer_.size() - end_, file_.get());
-  if (got == 0) {
-    if (std::ferror(file_.get()) != 0) {
-      fail("read error");
-    }
-    eof_ = true;
-  }
-  end_ += got;
-}
-
-bool MetisNodeStream::next_line(std::string_view& line) {
-  while (true) {
-    const std::size_t search_from = pos_ + scanned_;
-    if (search_from < end_) {
-      const void* nl = std::memchr(buffer_.data() + search_from, '\n',
-                                   end_ - search_from);
-      if (nl != nullptr) {
-        const auto nl_pos = static_cast<std::size_t>(
-            static_cast<const char*>(nl) - buffer_.data());
-        line = std::string_view(buffer_.data() + pos_, nl_pos - pos_);
-        pos_ = nl_pos + 1;
-        scanned_ = 0;
-        ++line_no_;
-        return true;
-      }
-    }
-    if (eof_) {
-      if (pos_ < end_) { // final line without a trailing newline
-        line = std::string_view(buffer_.data() + pos_, end_ - pos_);
-        pos_ = end_;
-        scanned_ = 0;
-        ++line_no_;
-        return true;
-      }
-      return false;
-    }
-    scanned_ = end_ - pos_; // everything so far holds no newline
-    refill();
-  }
+  throw IoError(reader_.path() + ":" + std::to_string(reader_.line_no()) + ": " +
+                message);
 }
 
 void MetisNodeStream::read_header() {
   std::string_view line;
   bool found = false;
-  while (next_line(line)) {
+  while (reader_.next_line(line)) {
     if (!line.empty() && line.front() != '%') {
       found = true;
       break;
@@ -144,7 +30,7 @@ void MetisNodeStream::read_header() {
     fail("missing METIS header");
   }
   const auto bad_header = [this] { fail("malformed METIS header"); };
-  Tokens tokens(line);
+  IntScanner tokens(line);
   std::int64_t n = 0;
   std::int64_t m = 0;
   std::int64_t fmt = 0;
@@ -174,8 +60,8 @@ void MetisNodeStream::read_header() {
   header_.num_edges = static_cast<EdgeIndex>(m);
   header_.has_edge_weights = (fmt % 10) == 1;
   header_.has_node_weights = (fmt / 10 % 10) == 1;
-  data_start_ = consumed_base_ + pos_;
-  header_line_no_ = line_no_;
+  data_start_ = reader_.next_offset();
+  header_line_no_ = reader_.line_no();
 }
 
 bool MetisNodeStream::parse_next(NodeWeight& weight, std::vector<NodeId>& neighbors,
@@ -186,14 +72,14 @@ bool MetisNodeStream::parse_next(NodeWeight& weight, std::vector<NodeId>& neighb
   // Comment lines are skipped; an empty line — or a missing trailing line —
   // is an isolated node.
   std::string_view line;
-  while (next_line(line)) {
+  while (reader_.next_line(line)) {
     if (line.empty() || line.front() != '%') {
       break;
     }
     line = std::string_view();
   }
   weight = 1;
-  Tokens tokens(line);
+  IntScanner tokens(line);
   const auto bad_token = [this] { fail("malformed integer token"); };
   std::int64_t value = 0;
   if (header_.has_node_weights && tokens.next(value, bad_token)) {
@@ -246,23 +132,7 @@ std::size_t MetisNodeStream::fill_batch(NodeBatch& batch, std::size_t max_nodes,
 }
 
 void MetisNodeStream::rewind() {
-  // 64-bit seek: std::fseek takes long, which truncates >= 2 GiB offsets on
-  // LLP64/LP32 platforms; graphs that size are exactly the disk-streaming
-  // use case.
-#if defined(_WIN32)
-  const int rc = _fseeki64(file_.get(), static_cast<__int64>(data_start_), SEEK_SET);
-#else
-  const int rc = fseeko(file_.get(), static_cast<off_t>(data_start_), SEEK_SET);
-#endif
-  if (rc != 0) {
-    fail("cannot seek back to the data section");
-  }
-  pos_ = 0;
-  end_ = 0;
-  scanned_ = 0;
-  eof_ = false;
-  consumed_base_ = data_start_;
-  line_no_ = header_line_no_;
+  reader_.seek(data_start_, header_line_no_);
   next_id_ = 0;
 }
 

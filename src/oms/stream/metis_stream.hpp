@@ -14,12 +14,11 @@
 /// position, so CLIs fail cleanly instead of aborting.
 #pragma once
 
-#include <cstdio>
-#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "oms/stream/line_reader.hpp"
 #include "oms/stream/node_batch.hpp"
 #include "oms/stream/one_pass_driver.hpp"
 #include "oms/types.hpp"
@@ -70,32 +69,15 @@ public:
   void rewind();
 
 private:
-  struct FileCloser {
-    void operator()(std::FILE* f) const noexcept { std::fclose(f); }
-  };
-
   void read_header();
   /// Parse the next data line, appending the adjacency into the given sinks.
   /// False when all header().num_nodes nodes have been delivered.
   bool parse_next(NodeWeight& weight, std::vector<NodeId>& neighbors,
                   std::vector<EdgeWeight>& edge_weights);
-  /// Next raw line (without the newline); false at end of file. The view
-  /// borrows the read buffer and dies at the next call.
-  [[nodiscard]] bool next_line(std::string_view& line);
-  /// Slide the unconsumed tail to the front and read another chunk.
-  void refill();
   [[noreturn]] void fail(const std::string& message) const;
 
-  std::unique_ptr<std::FILE, FileCloser> file_;
-  std::string path_;
-  std::vector<char> buffer_;
-  std::size_t pos_ = 0;     ///< first unconsumed byte in buffer_
-  std::size_t end_ = 0;     ///< one past the last valid byte in buffer_
-  std::size_t scanned_ = 0; ///< bytes past pos_ already searched for '\n'
-  bool eof_ = false;
-  std::uint64_t consumed_base_ = 0; ///< file offset of buffer_[0]
-  std::uint64_t data_start_ = 0;    ///< file offset of the first data line
-  std::uint64_t line_no_ = 0;
+  BufferedLineReader reader_;
+  std::uint64_t data_start_ = 0; ///< file offset of the first data line
   std::uint64_t header_line_no_ = 0;
 
   MetisHeader header_;

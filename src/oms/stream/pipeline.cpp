@@ -1,12 +1,9 @@
 #include "oms/stream/pipeline.hpp"
 
-#include <exception>
-#include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "oms/stream/node_batch.hpp"
+#include "oms/stream/pipeline_core.hpp"
 #include "oms/util/parallel.hpp"
 #include "oms/util/timer.hpp"
 
@@ -22,88 +19,25 @@ StreamResult run_one_pass_from_file(const std::string& path,
   StreamResult result;
   Timer timer;
 
-  // Two rings close the loop: the reader pops an empty batch from free_q,
-  // parses into it, pushes it to filled_q; a consumer assigns it and hands
-  // the buffer back. ring_batches bounds the parse-ahead (backpressure on
-  // both sides), and after warm-up no allocation happens on either path.
-  using BatchPtr = std::unique_ptr<NodeBatch>;
-  BoundedQueue<BatchPtr> free_q(config.ring_batches);
-  BoundedQueue<BatchPtr> filled_q(config.ring_batches);
-  for (std::size_t i = 0; i < config.ring_batches; ++i) {
-    (void)free_q.push(std::make_unique<NodeBatch>());
-  }
-
-  std::mutex error_mutex;
-  std::exception_ptr parse_error;
-  std::exception_ptr assign_error;
-
-  std::thread producer([&] {
-    try {
-      BatchPtr batch;
-      while (free_q.pop(batch)) {
-        if (stream.fill_batch(*batch, config.batch_nodes, config.batch_arcs) == 0) {
-          break; // stream exhausted
-        }
-        if (!filled_q.push(std::move(batch))) {
-          break; // a consumer failed and closed the queues
-        }
-      }
-    } catch (...) {
-      const std::lock_guard<std::mutex> lock(error_mutex);
-      parse_error = std::current_exception();
-    }
-    // Wakes the consumers; they drain what was parsed, then stop. An IoError
-    // therefore surfaces on the caller, never as a deadlocked pipeline.
-    filled_q.close();
-  });
-
-  std::mutex merge_mutex;
-  const auto consume = [&](int thread_id) {
-    WorkCounters counters;
-    try {
-      BatchPtr batch;
-      while (filled_q.pop(batch)) {
-        const std::size_t count = batch->size();
+  // Per-thread counter slots merged after the join; each consumer accumulates
+  // into a stack-local inside the batch loop so the shared vector is written
+  // once per batch, not once per node (no false sharing on the hot path).
+  std::vector<WorkCounters> counters(static_cast<std::size_t>(consumers));
+  run_batched_pipeline<NodeBatch>(
+      config.ring_batches, consumers,
+      [&](NodeBatch& batch) {
+        return stream.fill_batch(batch, config.batch_nodes, config.batch_arcs);
+      },
+      [&](const NodeBatch& batch, int thread_id) {
+        WorkCounters local;
+        const std::size_t count = batch.size();
         for (std::size_t i = 0; i < count; ++i) {
-          assigner.assign(batch->node(i), thread_id, counters);
+          assigner.assign(batch.node(i), thread_id, local);
         }
-        if (!free_q.push(std::move(batch))) {
-          break;
-        }
-      }
-    } catch (...) {
-      {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (assign_error == nullptr) {
-          assign_error = std::current_exception();
-        }
-      }
-      filled_q.close(); // stop sibling consumers
-      free_q.close();   // unblock the producer
-    }
-    const std::lock_guard<std::mutex> lock(merge_mutex);
-    result.work += counters;
-  };
-
-  // The calling thread is consumer 0, so the default config costs exactly
-  // one extra thread (the parser).
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(consumers) - 1);
-  for (int t = 1; t < consumers; ++t) {
-    workers.emplace_back(consume, t);
-  }
-  consume(0);
-  for (std::thread& w : workers) {
-    w.join();
-  }
-  free_q.close(); // producer may still be waiting for a recycled batch
-  producer.join();
-
-  if (parse_error != nullptr) {
-    std::rethrow_exception(parse_error);
-  }
-  if (assign_error != nullptr) {
-    std::rethrow_exception(assign_error);
+        counters[static_cast<std::size_t>(thread_id)] += local;
+      });
+  for (const WorkCounters& c : counters) {
+    result.work += c;
   }
 
   result.elapsed_s = timer.elapsed_s();

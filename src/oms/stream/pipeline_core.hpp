@@ -1,0 +1,114 @@
+/// \file pipeline_core.hpp
+/// \brief The producer/consumer ring shared by every pipelined disk stream:
+///        a reader thread fills recycled batch buffers, consumer threads
+///        drain them, errors from either side are rethrown on the caller.
+///
+/// Extracted from the METIS node pipeline (PR 3) so the edge-list stream —
+/// and any future batch-shaped ingest — reuses the exact shutdown and error
+/// protocol instead of re-deriving it: two bounded queues close the loop,
+/// ring_batches bounds the parse-ahead (backpressure on both sides), and
+/// after warm-up no allocation happens on either path.
+#pragma once
+
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "oms/util/parallel.hpp"
+
+namespace oms {
+
+/// Run a batched producer/consumer pipeline to completion.
+///
+/// \param ring_batches batches circulating between producer and consumers.
+/// \param consumers    consumer thread count; the calling thread is consumer
+///                     0, so the pipeline costs exactly `consumers` extra
+///                     threads minus one plus the reader.
+/// \param fill         invoked on the producer thread: fill(batch) parses
+///                     the next chunk into \p batch and returns the element
+///                     count; 0 means the stream is exhausted.
+/// \param consume      invoked on consumer threads: consume(batch,
+///                     thread_id) processes one batch.
+///
+/// An exception thrown by \p fill wakes the consumers (they drain what was
+/// parsed, then stop) and is rethrown here after all threads joined; an
+/// exception from \p consume stops the siblings and the producer the same
+/// way. Fill errors take precedence, matching "the parse failed first".
+template <typename Batch, typename Fill, typename Consume>
+void run_batched_pipeline(std::size_t ring_batches, int consumers, Fill&& fill,
+                          Consume&& consume) {
+  using BatchPtr = std::unique_ptr<Batch>;
+  BoundedQueue<BatchPtr> free_q(ring_batches);
+  BoundedQueue<BatchPtr> filled_q(ring_batches);
+  for (std::size_t i = 0; i < ring_batches; ++i) {
+    (void)free_q.push(std::make_unique<Batch>());
+  }
+
+  std::mutex error_mutex;
+  std::exception_ptr fill_error;
+  std::exception_ptr consume_error;
+
+  std::thread producer([&] {
+    try {
+      BatchPtr batch;
+      while (free_q.pop(batch)) {
+        if (fill(*batch) == 0) {
+          break; // stream exhausted
+        }
+        if (!filled_q.push(std::move(batch))) {
+          break; // a consumer failed and closed the queues
+        }
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      fill_error = std::current_exception();
+    }
+    // Wakes the consumers; they drain what was parsed, then stop. An IoError
+    // therefore surfaces on the caller, never as a deadlocked pipeline.
+    filled_q.close();
+  });
+
+  const auto consume_loop = [&](int thread_id) {
+    try {
+      BatchPtr batch;
+      while (filled_q.pop(batch)) {
+        consume(*batch, thread_id);
+        if (!free_q.push(std::move(batch))) {
+          break;
+        }
+      }
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (consume_error == nullptr) {
+          consume_error = std::current_exception();
+        }
+      }
+      filled_q.close(); // stop sibling consumers
+      free_q.close();   // unblock the producer
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(consumers) - 1);
+  for (int t = 1; t < consumers; ++t) {
+    workers.emplace_back(consume_loop, t);
+  }
+  consume_loop(0);
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  free_q.close(); // producer may still be waiting for a recycled batch
+  producer.join();
+
+  if (fill_error != nullptr) {
+    std::rethrow_exception(fill_error);
+  }
+  if (consume_error != nullptr) {
+    std::rethrow_exception(consume_error);
+  }
+}
+
+} // namespace oms

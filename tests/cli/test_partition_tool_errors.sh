@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# CLI error-channel test: malformed METIS *content* — on the --from-disk
-# streaming path, the pipelined path, and the in-memory loader alike — must
-# make partition_tool exit non-zero with a clean "error:" message — never
-# SIGABRT (exit 134).
+# CLI error-channel test: malformed graph *content* — METIS on the
+# --from-disk streaming path, the pipelined path, and the in-memory loader,
+# plus edge-list inputs on the sequential and pipelined vertex-cut paths —
+# must make partition_tool exit non-zero with a clean "error:" message —
+# never SIGABRT (exit 134).
 # Usage: test_partition_tool_errors.sh <path-to-partition_tool>
 set -u
 
@@ -72,6 +73,47 @@ check_clean_error "in-memory neighbor out of range" 1 \
   "$tool" "$tmpdir/range.graph" --k 2
 check_clean_error "in-memory malformed header" 1 \
   "$tool" "$tmpdir/badheader.graph" --k 2
+
+# --- Edge-list (vertex-cut) inputs -----------------------------------------
+
+# A well-formed control file (extension autodetection picks the format).
+printf '# comment\n0 1\n1 2\n2 0\n' > "$tmpdir/good.edgelist"
+check_clean_error "edgelist well-formed control" 0 \
+  "$tool" "$tmpdir/good.edgelist" --k 2
+check_clean_error "edgelist pipelined control" 0 \
+  "$tool" "$tmpdir/good.edgelist" --k 2 --pipeline
+check_clean_error "edgelist explicit --format override" 0 \
+  "$tool" "$tmpdir/good.edgelist" --format edgelist --algo dbh --k 2
+
+# Non-numeric endpoint.
+printf '0 1\n2 xyz\n' > "$tmpdir/garbage.edgelist"
+check_clean_error "edgelist non-numeric endpoint" 1 \
+  "$tool" "$tmpdir/garbage.edgelist" --k 2
+check_clean_error "edgelist pipelined non-numeric endpoint" 1 \
+  "$tool" "$tmpdir/garbage.edgelist" --k 2 --pipeline
+
+# Truncated last line (single endpoint).
+printf '0 1\n1 2\n3\n' > "$tmpdir/trunc.edgelist"
+check_clean_error "edgelist truncated last line" 1 \
+  "$tool" "$tmpdir/trunc.edgelist" --k 2
+check_clean_error "edgelist pipelined truncated last line" 1 \
+  "$tool" "$tmpdir/trunc.edgelist" --k 2 --pipeline
+
+# Empty file (and a comments-only file is just as empty).
+: > "$tmpdir/empty.edgelist"
+printf '# nothing\n# here\n' > "$tmpdir/comments.edgelist"
+check_clean_error "edgelist empty file" 1 \
+  "$tool" "$tmpdir/empty.edgelist" --k 2
+check_clean_error "edgelist pipelined empty file" 1 \
+  "$tool" "$tmpdir/empty.edgelist" --k 2 --pipeline
+check_clean_error "edgelist comments-only file" 1 \
+  "$tool" "$tmpdir/comments.edgelist" --k 2
+
+# Format/algo mismatches are usage errors (exit 2), not IoErrors.
+check_clean_error "edgelist algo on metis input" 2 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo hdrf
+check_clean_error "node algo on edgelist input" 2 \
+  "$tool" "$tmpdir/good.edgelist" --k 2 --algo fennel
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures CLI error-channel check(s) failed"

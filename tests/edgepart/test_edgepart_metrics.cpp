@@ -1,0 +1,166 @@
+/// \file test_edgepart_metrics.cpp
+/// \brief Vertex-cut metrics: replication factor, replication overhead, edge
+///        imbalance and hierarchical replica cost on hand-checked tiny
+///        replica tables, plus a property test recomputing every metric from
+///        scratch against a random partitioner run (honours OMS_TEST_SEED).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "oms/edgepart/hdrf.hpp"
+#include "oms/edgepart/driver.hpp"
+#include "oms/partition/metrics.hpp"
+#include "oms/util/dense_bitset.hpp"
+#include "oms/util/random.hpp"
+#include "tests/test_support.hpp"
+
+namespace oms {
+namespace {
+
+TEST(BitsetTableTest, SetTestCountAndRanges) {
+  BitsetTable table(130); // > 2 words per row
+  table.ensure_rows(3);
+  table.set(0, 0);
+  table.set(0, 64);
+  table.set(0, 129);
+  table.set(2, 65);
+  EXPECT_TRUE(table.test(0, 0));
+  EXPECT_TRUE(table.test(0, 64));
+  EXPECT_TRUE(table.test(0, 129));
+  EXPECT_FALSE(table.test(0, 1));
+  EXPECT_FALSE(table.test(1, 0));
+  EXPECT_FALSE(table.test(99, 0)); // row beyond the table reads empty
+  EXPECT_EQ(table.count_row(0), 3u);
+  EXPECT_EQ(table.count_row(1), 0u);
+  EXPECT_EQ(table.count_row(99), 0u);
+
+  EXPECT_TRUE(table.any_in_range(0, 0, 1));
+  EXPECT_FALSE(table.any_in_range(0, 1, 64));
+  EXPECT_TRUE(table.any_in_range(0, 1, 65));
+  EXPECT_TRUE(table.any_in_range(0, 100, 130));
+  EXPECT_FALSE(table.any_in_range(0, 65, 129));
+  EXPECT_FALSE(table.any_in_range(0, 64, 64)); // empty range
+  EXPECT_TRUE(table.any_in_range(2, 0, 130));
+
+  std::vector<BlockId> bits;
+  table.for_each_set(0, [&](BlockId b) { bits.push_back(b); });
+  EXPECT_EQ(bits, (std::vector<BlockId>{0, 64, 129}));
+
+  // Growth preserves contents.
+  table.ensure_rows(1000);
+  EXPECT_TRUE(table.test(0, 129));
+  EXPECT_TRUE(table.test(2, 65));
+  EXPECT_EQ(table.count_row(999), 0u);
+}
+
+TEST(EdgePartMetrics, HandCheckedTinyTable) {
+  // 4 vertices over k = 4: replica sets {0}, {0,1}, {1,2,3}, {} (vertex 3
+  // never occurs).
+  BitsetTable replicas(4);
+  replicas.ensure_rows(4);
+  replicas.set(0, 0);
+  replicas.set(1, 0);
+  replicas.set(1, 1);
+  replicas.set(2, 1);
+  replicas.set(2, 2);
+  replicas.set(2, 3);
+
+  // (1 + 2 + 3) replicas over 3 occurring vertices.
+  EXPECT_DOUBLE_EQ(replication_factor(replicas), 2.0);
+  EXPECT_EQ(replication_overhead(replicas), 3);
+
+  // Hierarchy 2x2: PEs {0,1} share a level-1 module (d=1), crossing costs 5.
+  const SystemHierarchy topo({2, 2}, {1, 5});
+  // vertex 0: single replica, cost 0.
+  // vertex 1: master 0, replica 1 -> distance(0,1) = 1.
+  // vertex 2: master 1, replicas 2 and 3 -> distance(1,2) + distance(1,3)
+  //           = 5 + 5.
+  EXPECT_EQ(hierarchical_replica_cost(replicas, topo), 11);
+
+  // With uniform distances d the cost is d * replication_overhead.
+  const SystemHierarchy uniform({2, 2}, {7, 7});
+  EXPECT_EQ(hierarchical_replica_cost(replicas, uniform),
+            7 * replication_overhead(replicas));
+}
+
+TEST(EdgePartMetrics, EdgeImbalance) {
+  EXPECT_DOUBLE_EQ(edge_imbalance(std::vector<EdgeWeight>{5, 5, 5, 5}), 0.0);
+  // max 8 over perfect 5: 8/5 - 1.
+  EXPECT_DOUBLE_EQ(edge_imbalance(std::vector<EdgeWeight>{8, 4, 4, 4}), 0.6);
+  // All empty: defined as perfectly balanced.
+  EXPECT_DOUBLE_EQ(edge_imbalance(std::vector<EdgeWeight>{0, 0}), 0.0);
+  // One block holds everything of k = 4: 4x the perfect share.
+  EXPECT_DOUBLE_EQ(edge_imbalance(std::vector<EdgeWeight>{12, 0, 0, 0}), 3.0);
+}
+
+TEST(EdgePartMetrics, EmptyTableIsZero) {
+  BitsetTable replicas(8);
+  EXPECT_DOUBLE_EQ(replication_factor(replicas), 0.0);
+  EXPECT_EQ(replication_overhead(replicas), 0);
+  const SystemHierarchy topo({8}, {3});
+  EXPECT_EQ(hierarchical_replica_cost(replicas, topo), 0);
+}
+
+/// Property: every metric recomputed from the raw edge assignment matches
+/// the partitioner-reported metrics exactly, for random streams.
+TEST(EdgePartMetricsProperty, MatchesBruteForceRecount) {
+  for (std::uint64_t draw = 0; draw < 8; ++draw) {
+    Rng rng(testing::draw_seed(draw));
+    const NodeId n = 20 + static_cast<NodeId>(rng.next_below(200));
+    const std::size_t m = 30 + rng.next_below(800);
+    const BlockId k = 2 + static_cast<BlockId>(rng.next_below(30));
+    std::vector<StreamedEdge> edges;
+    edges.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      StreamedEdge e;
+      e.u = static_cast<NodeId>(rng.next_below(n));
+      e.v = static_cast<NodeId>(rng.next_below(n));
+      e.weight = 1 + static_cast<EdgeWeight>(rng.next_below(9));
+      edges.push_back(e); // self-loops included: the driver must skip them
+    }
+
+    EdgePartConfig config;
+    config.k = k;
+    config.seed = testing::draw_seed(draw ^ 0xabcdULL);
+    HdrfPartitioner partitioner(config);
+    const auto result = run_edge_partition(edges, partitioner);
+
+    // Brute-force recount from the per-edge assignment record.
+    BitsetTable replicas(k);
+    std::vector<EdgeWeight> loads(static_cast<std::size_t>(k), 0);
+    std::size_t next_assigned = 0;
+    EdgeIndex streamed = 0;
+    EdgeIndex loops = 0;
+    for (const StreamedEdge& e : edges) {
+      if (e.u == e.v) {
+        ++loops;
+        continue;
+      }
+      const BlockId b = result.edge_assignment[next_assigned++];
+      replicas.ensure_rows(static_cast<std::size_t>(std::max(e.u, e.v)) + 1);
+      replicas.set(e.u, b);
+      replicas.set(e.v, b);
+      loads[static_cast<std::size_t>(b)] += e.weight;
+      ++streamed;
+    }
+    ASSERT_EQ(next_assigned, result.edge_assignment.size());
+    EXPECT_EQ(result.stats.num_edges, streamed);
+    EXPECT_EQ(result.stats.self_loops_skipped, loops);
+
+    EXPECT_DOUBLE_EQ(replication_factor(partitioner.replicas()),
+                     replication_factor(replicas))
+        << "draw " << draw;
+    EXPECT_EQ(replication_overhead(partitioner.replicas()),
+              replication_overhead(replicas));
+    EXPECT_DOUBLE_EQ(edge_imbalance(partitioner.edge_loads()),
+                     edge_imbalance(loads));
+    const SystemHierarchy topo({k}, {2});
+    EXPECT_EQ(hierarchical_replica_cost(partitioner.replicas(), topo),
+              hierarchical_replica_cost(replicas, topo));
+    EXPECT_EQ(hierarchical_replica_cost(replicas, topo),
+              2 * replication_overhead(replicas));
+  }
+}
+
+} // namespace
+} // namespace oms

@@ -70,6 +70,21 @@ def main():
     new = load_benchmarks(args.new_json)
     base = load_benchmarks(args.baseline_json)
     common = sorted(set(new) & set(base))
+    # Benchmarks only present in the new run would silently drop out of the
+    # comparison: a freshly added bench is unguarded (and missing from the
+    # anchors) until the baseline is re-recorded. Surface that loudly.
+    unguarded = sorted(set(new) - set(base))
+    if unguarded:
+        names = ", ".join(unguarded)
+        print(f"::warning title=bench gate coverage::{len(unguarded)} "
+              f"benchmark(s) missing from the baseline and therefore not "
+              f"gated: {names} — re-record BENCH_micro_baseline.json to "
+              f"guard them")
+    removed = sorted(set(base) - set(new))
+    if removed:
+        print(f"::warning title=bench gate coverage::{len(removed)} baseline "
+              f"benchmark(s) no longer produced by this run: "
+              f"{', '.join(removed)}")
     ratios = {n: new[n] / base[n] for n in common}
     gated = [n for n in common if n.startswith(args.prefix)]
     anchors = [n for n in common if not n.startswith(args.prefix)]
