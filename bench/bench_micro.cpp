@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <string>
 
+#include "oms/buffered/buffered_partitioner.hpp"
 #include "oms/core/multisection_tree.hpp"
 #include "oms/core/online_multisection.hpp"
 #include "oms/edgepart/dbh.hpp"
@@ -23,6 +24,7 @@
 #include "oms/stream/metis_stream.hpp"
 #include "oms/stream/one_pass_driver.hpp"
 #include "oms/stream/pipeline.hpp"
+#include "oms/stream/window_partitioner.hpp"
 
 namespace {
 
@@ -188,6 +190,38 @@ void BM_MetisStreamPartitionPipelined(benchmark::State& state) {
   metis_stream_partition<true>(state);
 }
 BENCHMARK(BM_MetisStreamPartitionPipelined);
+
+void BM_BufferedPartition(benchmark::State& state) {
+  // Buffered (HeiStream-style) model build + refinement throughput on the
+  // in-memory entry point; the disk-native driver runs the same core.
+  const auto buffer = static_cast<NodeId>(state.range(0));
+  const CsrGraph& graph = shared_graph();
+  for (auto _ : state) {
+    BufferedConfig config;
+    config.buffer_size = buffer;
+    const BufferedResult r = buffered_partition(graph, 64, config);
+    benchmark::DoNotOptimize(r.assignment.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.num_nodes()));
+}
+BENCHMARK(BM_BufferedPartition)->Arg(4096)->Arg(16384);
+
+void BM_WindowPartition(benchmark::State& state) {
+  // Sliding-window assignment throughput (delayed decisions, k-wide scan).
+  const auto k = static_cast<BlockId>(state.range(0));
+  const CsrGraph& graph = shared_graph();
+  for (auto _ : state) {
+    WindowConfig config;
+    WindowPartitioner window(graph.num_nodes(), graph.total_node_weight(), config,
+                             k);
+    const StreamResult r = run_one_pass(graph, window, 1);
+    benchmark::DoNotOptimize(r.assignment.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.num_nodes()));
+}
+BENCHMARK(BM_WindowPartition)->Arg(256);
 
 /// Shared edge sequence for the vertex-cut assignment-throughput benches
 /// (each undirected edge of the shared graph once, stream order).

@@ -44,8 +44,7 @@ int main() {
 
     WindowConfig wc;
     wc.window_size = 1024;
-    WindowPartitioner window(graph.num_nodes(), graph.total_node_weight(), graph,
-                             wc, k);
+    WindowPartitioner window(graph.num_nodes(), graph.total_node_weight(), wc, k);
     const StreamResult wr = run_one_pass(graph, window, 1);
     window_ratio.push_back(static_cast<double>(edge_cut(graph, wr.assignment)) /
                            fennel_cut);

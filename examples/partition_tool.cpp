@@ -10,6 +10,8 @@
 ///                         |hdrf|dbh|grid2d]
 ///                  [--hierarchy 4:16:2 --distances 1:10:100]
 ///                  [--epsilon 0.03] [--lambda 1.1] [--threads 1] [--seed 1]
+///                  [--buffer-size 4096] [--refine-iters 3]
+///                  [--window-size 1024]
 ///                  [--output partition.txt] [--from-disk]
 ///                  [--pipeline] [--io-threads 1]
 ///
@@ -22,12 +24,14 @@
 /// With --hierarchy the tool solves process mapping: OMS with J for node
 /// streams, hierarchical HDRF with the weighted replica cost for edge
 /// streams. --from-disk streams the file node by node without ever
-/// materializing the graph (O(n + k) memory; one-pass algorithms only).
-/// --pipeline (implies --from-disk) overlaps parsing with assignment: a
-/// dedicated reader thread parses batches while --io-threads consumer
-/// threads assign them (1, the default, keeps the sequential stream order
-/// bit-for-bit; vertex-cut assigners are always sequential, so there the
-/// pipeline overlaps parsing only).
+/// materializing the graph: O(n + k) memory for the one-pass algorithms,
+/// O(n + window + k) for the sliding window and O(n + buffer + k) for the
+/// buffered model (the O(n) term is the assignment itself). --pipeline
+/// (implies --from-disk) overlaps parsing with assignment: a dedicated
+/// reader thread parses batches while --io-threads consumer threads assign
+/// them (1, the default, keeps the sequential stream order bit-for-bit;
+/// window, buffered and vertex-cut assignment are inherently sequential, so
+/// there the pipeline overlaps parsing only).
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -51,6 +55,7 @@
 #include "oms/partition/hashing.hpp"
 #include "oms/partition/ldg.hpp"
 #include "oms/partition/metrics.hpp"
+#include "oms/stream/buffered_stream_driver.hpp"
 #include "oms/stream/metis_stream.hpp"
 #include "oms/stream/pipeline.hpp"
 #include "oms/stream/window_partitioner.hpp"
@@ -71,6 +76,9 @@ struct Options {
   double lambda = 1.1;
   int threads = 1;
   std::uint64_t seed = 1;
+  long buffer_size = 4096;  ///< buffered model: nodes per buffer
+  long refine_iters = 3;    ///< buffered model: refinement budget multiplier
+  long window_size = 1024;  ///< sliding window: delayed nodes
   std::string output;
   bool from_disk = false;
   bool pipeline = false;
@@ -88,6 +96,8 @@ struct Options {
          "d1:d2:...]\n"
          "                      [--epsilon E] [--lambda L] [--threads T] "
          "[--seed S]\n"
+         "                      [--buffer-size N] [--refine-iters N] "
+         "[--window-size N]\n"
          "                      [--output FILE] [--from-disk]\n"
          "                      [--pipeline] [--io-threads T]\n";
   std::exit(exit_code);
@@ -178,6 +188,12 @@ Options parse_args(int argc, char** argv) {
       opt.threads = int_value();
     } else if (arg == "--seed") {
       opt.seed = u64_value();
+    } else if (arg == "--buffer-size") {
+      opt.buffer_size = long_value();
+    } else if (arg == "--refine-iters") {
+      opt.refine_iters = long_value();
+    } else if (arg == "--window-size") {
+      opt.window_size = long_value();
     } else if (arg == "--output") {
       opt.output = value();
     } else if (arg == "--from-disk") {
@@ -213,6 +229,13 @@ std::unique_ptr<oms::OnePassAssigner> make_assigner(const Options& opt, oms::Nod
   if (opt.algo == "hashing") {
     return std::make_unique<HashingPartitioner>(n, total_weight, pc);
   }
+  if (opt.algo == "window") {
+    WindowConfig wc;
+    wc.window_size = static_cast<NodeId>(opt.window_size);
+    wc.epsilon = opt.epsilon;
+    wc.seed = opt.seed;
+    return std::make_unique<WindowPartitioner>(n, total_weight, wc, opt.k);
+  }
   if (opt.algo == "oms") {
     OmsConfig config;
     config.epsilon = opt.epsilon;
@@ -225,6 +248,15 @@ std::unique_ptr<oms::OnePassAssigner> make_assigner(const Options& opt, oms::Nod
     return std::make_unique<OnlineMultisection>(n, m, total_weight, opt.k, config);
   }
   usage();
+}
+
+oms::BufferedConfig buffered_config(const Options& opt) {
+  oms::BufferedConfig bc;
+  bc.buffer_size = static_cast<oms::NodeId>(opt.buffer_size);
+  bc.epsilon = opt.epsilon;
+  bc.seed = opt.seed;
+  bc.refinement_iterations = static_cast<int>(opt.refine_iters);
+  return bc;
 }
 
 int run_tool(Options opt);
@@ -287,9 +319,26 @@ int run_tool(Options opt) {
     std::cerr << "error: --epsilon must be a finite value >= 0\n";
     return 2;
   }
-  if (opt.from_disk && (opt.algo == "window" || opt.algo == "buffered")) {
-    // These need lookahead over the in-memory graph; one-pass algos only.
-    std::cerr << "error: --algo " << opt.algo << " is incompatible with --from-disk\n";
+  constexpr long kMaxNodeCount = std::numeric_limits<NodeId>::max();
+  if (opt.buffer_size < 1 || opt.buffer_size > kMaxNodeCount) {
+    std::cerr << "error: --buffer-size must be in [1, " << kMaxNodeCount << "]\n";
+    return 2;
+  }
+  if (opt.refine_iters < 0 || opt.refine_iters > std::numeric_limits<int>::max()) {
+    std::cerr << "error: --refine-iters must be >= 0\n";
+    return 2;
+  }
+  if (opt.window_size < 1 || opt.window_size > kMaxNodeCount) {
+    std::cerr << "error: --window-size must be in [1, " << kMaxNodeCount << "]\n";
+    return 2;
+  }
+  // Unsupported combinations get exactly one diagnostic each. Window and
+  // buffered now stream from disk like the one-pass algorithms; the only
+  // structural limit left is that both commit nodes in stream order, so the
+  // pipeline can overlap parsing but never fan assignment out.
+  if (opt.algo == "window" && opt.pipeline && opt.io_threads != 1) {
+    std::cerr << "error: --algo window is sequential; --pipeline supports only "
+                 "--io-threads 1\n";
     return 2;
   }
   // The loaders raise IoError on unopenable files, but a bad path deserves
@@ -331,6 +380,11 @@ int run_tool(Options opt) {
       std::cerr << "error: --io-threads must be >= 0 (0 = all hardware threads)\n";
       return 2;
     }
+    if (opt.algo == "buffered" && opt.pipeline && opt.io_threads != 1) {
+      std::cerr << "note: buffered model building is sequential; --pipeline "
+                   "overlaps parsing only (ignoring --io-threads "
+                << opt.io_threads << ")\n";
+    }
     // True streaming: only the header is read ahead of time. Capacity bounds
     // assume unit node weights (total = n), which the header lets us check.
     MetisNodeStream probe(opt.graph_path);
@@ -340,14 +394,29 @@ int run_tool(Options opt) {
                    "has node weights (load it without --from-disk)\n";
       return 2;
     }
-    auto assigner = make_assigner(opt, header.num_nodes, header.num_edges,
-                                  static_cast<NodeWeight>(header.num_nodes));
-    if (opt.pipeline) {
-      PipelineConfig pipeline;
-      pipeline.assign_threads = opt.io_threads;
-      result = run_one_pass_from_file(opt.graph_path, *assigner, pipeline);
+    if (opt.algo == "buffered") {
+      // The buffered model has its own driver: whole buffers are modeled and
+      // refined jointly, with the pipeline parsing the next buffers ahead.
+      BufferedResult br;
+      if (opt.pipeline) {
+        br = buffered_partition_from_file(opt.graph_path, opt.k,
+                                          buffered_config(opt), PipelineConfig{});
+      } else {
+        br = buffered_partition_from_file(opt.graph_path, opt.k,
+                                          buffered_config(opt));
+      }
+      result.assignment = std::move(br.assignment);
+      result.elapsed_s = br.elapsed_s;
     } else {
-      result = run_one_pass_from_file(opt.graph_path, *assigner);
+      auto assigner = make_assigner(opt, header.num_nodes, header.num_edges,
+                                    static_cast<NodeWeight>(header.num_nodes));
+      if (opt.pipeline) {
+        PipelineConfig pipeline;
+        pipeline.assign_threads = opt.io_threads;
+        result = run_one_pass_from_file(opt.graph_path, *assigner, pipeline);
+      } else {
+        result = run_one_pass_from_file(opt.graph_path, *assigner);
+      }
     }
     std::cout << "streamed " << header.num_nodes << " nodes from disk"
               << (opt.pipeline ? " (pipelined)" : "") << " (peak RSS "
@@ -357,26 +426,20 @@ int run_tool(Options opt) {
   } else {
     const CsrGraph graph = read_metis(opt.graph_path);
     if (opt.algo == "window") {
-      WindowConfig wc;
-      wc.epsilon = opt.epsilon;
-      wc.seed = opt.seed;
-      WindowPartitioner window(graph.num_nodes(), graph.total_node_weight(), graph,
-                               wc, opt.k);
       if (opt.threads > 1) {
         std::cerr << "note: sliding-window partitioning is sequential; "
                      "--threads only affects the mapping-cost evaluation\n";
       }
-      result = run_one_pass(graph, window, 1);
+      auto window = make_assigner(opt, graph.num_nodes(), graph.num_edges(),
+                                  graph.total_node_weight());
+      result = run_one_pass(graph, *window, 1);
     } else if (opt.algo == "buffered") {
       if (opt.threads > 1) {
         std::cerr << "note: buffered partitioning is sequential; --threads "
                      "only affects the mapping-cost evaluation\n";
       }
-      BufferedConfig bc;
-      bc.epsilon = opt.epsilon;
-      bc.seed = opt.seed;
-      const BufferedResult br = buffered_partition(graph, opt.k, bc);
-      result.assignment = br.assignment;
+      BufferedResult br = buffered_partition(graph, opt.k, buffered_config(opt));
+      result.assignment = std::move(br.assignment);
       result.elapsed_s = br.elapsed_s;
     } else {
       auto assigner = make_assigner(opt, graph.num_nodes(), graph.num_edges(),

@@ -11,6 +11,18 @@
 /// greedy placement + fixed-vertex label-propagation refinement. Its role in
 /// this repository matches the paper's positioning: better cuts than the
 /// strictly one-pass algorithms at higher (but k-independent) cost per node.
+///
+/// The core is a true streaming algorithm: BufferedPartitioner consumes
+/// NodeBatch chunks (the pipelined disk reader's handoff unit) in stream
+/// order and holds O(buffer + k) state beyond the assignment vector. Each
+/// batch is materialized once into a reusable buffer-local model — a
+/// contiguous intra-buffer CSR plus per-node super-edges aggregated by block
+/// at build time — so the optimization loops never re-walk a raw
+/// neighborhood. Refinement is an active-set sweep: only nodes whose
+/// neighborhood changed are revisited, and it is deterministic (no RNG).
+/// The in-memory buffered_partition() entry point and the disk-native driver
+/// (stream/buffered_stream_driver.hpp) both run this core on identical
+/// batches, so their partitions coincide bit for bit on the same node order.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +30,7 @@
 
 #include "oms/graph/csr_graph.hpp"
 #include "oms/partition/partition_config.hpp"
+#include "oms/stream/node_batch.hpp"
 #include "oms/types.hpp"
 
 namespace oms {
@@ -27,8 +40,12 @@ struct BufferedConfig {
   /// graph at once and cut fewer edges, at higher latency per decision.
   NodeId buffer_size = 4096;
   double epsilon = 0.03;
+  /// Unused since the active-set refinement replaced the shuffled sweeps
+  /// (the algorithm is deterministic); kept so configs stay serializable.
   std::uint64_t seed = 1;
-  /// Label-propagation refinement rounds over each buffer model.
+  /// Refinement budget: the active set examines each buffer node at most
+  /// this many times (total work thus bounded like that many full
+  /// label-propagation sweeps, but the queue usually drains far earlier).
   int refinement_iterations = 3;
 };
 
@@ -38,9 +55,110 @@ struct BufferedResult {
   std::size_t buffers_processed = 0;
 };
 
+/// Streaming core shared by the in-memory and disk-native entry points.
+/// Feed buffers of consecutive stream nodes (ids must arrive in order,
+/// starting at 0) via process_buffer(), then take_assignment().
+class BufferedPartitioner {
+public:
+  BufferedPartitioner(NodeId num_nodes, NodeWeight total_node_weight, BlockId k,
+                      const BufferedConfig& config);
+
+  /// Jointly place and refine one buffer of nodes, then commit it. The batch
+  /// must start at the next unseen node id; adjacency may reference any node
+  /// (earlier = super-edges, in-buffer = model edges, future = ignored).
+  void process_buffer(const NodeBatch& batch);
+
+  /// Same, fed directly from an in-memory graph's adjacency spans (the
+  /// buffered_partition() entry point) — identical arcs, identical result.
+  void process_graph_range(const CsrGraph& graph, NodeId begin, NodeId end);
+
+  [[nodiscard]] BlockId num_blocks() const noexcept { return k_; }
+  [[nodiscard]] std::size_t buffers_processed() const noexcept {
+    return buffers_processed_;
+  }
+  [[nodiscard]] NodeWeight max_block_weight() const noexcept { return lmax_; }
+
+  /// Release the final assignment (the partitioner is done afterwards).
+  [[nodiscard]] std::vector<BlockId> take_assignment();
+
+private:
+  /// One fused pass per buffer node: walk the raw adjacency exactly once,
+  /// aggregating committed neighbors (earlier buffers) into per-block
+  /// super-edges and recording in-buffer arcs into the intra CSR — the
+  /// buffer-local model — while the same walk feeds the greedy LDG-style
+  /// initial placement. Refinement then runs on the model only; the raw
+  /// adjacency is never revisited. LocalBlock is the compact in-buffer
+  /// block-id type (uint16 whenever k fits, else uint32) so the refinement
+  /// loop's random reads stay L1-resident.
+  template <bool kUnit, typename LocalBlock, typename NodeAt>
+  void build_and_place(std::vector<LocalBlock>& local, NodeId first_id,
+                       std::uint32_t count, std::size_t arc_bound,
+                       NodeAt&& node_at);
+
+  /// Connection weight of local node \p i to every block it touches, from
+  /// the model (super-edges + assigned in-buffer neighbors). Results are in
+  /// gather_[b] for b in touched_.
+  template <typename LocalBlock>
+  void gather_connections(const std::vector<LocalBlock>& local, std::uint32_t i);
+
+  /// Fixed-vertex label propagation over the buffer driven by an active-set
+  /// queue: seeded with the nodes whose neighborhood was incomplete at
+  /// placement time (they have in-buffer successors), a node re-enters only
+  /// when an in-buffer neighbor moved, and no node is examined more than
+  /// refinement_iterations times (the old sweep-count work bound).
+  template <typename LocalBlock>
+  void refine(std::vector<LocalBlock>& local);
+
+  /// build_and_place + refine + one sequential flush of the buffer's blocks
+  /// into the O(n) assignment.
+  template <bool kUnit, typename LocalBlock, typename NodeAt>
+  void run_buffer(std::vector<LocalBlock>& local, NodeId first_id,
+                  std::uint32_t count, std::size_t arc_bound, NodeAt&& node_at);
+
+  /// Pick the narrowest local block representation for this k and the
+  /// weight specialization for this buffer.
+  template <typename NodeAt>
+  void dispatch_buffer(bool unit_weights, NodeId first_id, std::uint32_t count,
+                       std::size_t arc_bound, NodeAt&& node_at);
+
+  [[nodiscard]] BlockId lightest_block() const;
+  void set_block_weight(BlockId b, NodeWeight w);
+
+  BlockId k_;
+  NodeWeight lmax_;
+  int refinement_iterations_;
+  std::size_t buffers_processed_ = 0;
+  std::vector<BlockId> assignment_;      // O(n): the output
+  std::vector<NodeWeight> block_weight_; // O(k)
+  std::vector<double> penalty_;          // O(k): 1 - w/Lmax, kept in sync
+
+  // Buffer-local model graph; capacity is reused across buffers (arena).
+  NodeId begin_ = 0;      // stream id of local node 0
+  std::uint32_t size_ = 0;
+  std::vector<std::uint32_t> intra_offset_; // size_+1: prefix into intra arrays
+  std::vector<std::uint32_t> intra_target_; // local index of in-buffer neighbor
+  std::vector<EdgeWeight> intra_weight_;
+  std::vector<std::uint32_t> super_offset_; // size_+1: prefix into super arrays
+  std::vector<BlockId> super_block_;        // aggregated block super-edges
+  std::vector<EdgeWeight> super_weight_;
+  std::vector<NodeWeight> node_weight_; // size_
+  bool intra_unit_ = true; // all intra weights 1: gather skips the array
+
+  // Gather + active-set scratch (arena, zero steady-state allocation).
+  std::vector<EdgeWeight> gather_; // O(k), all-zero except touched_
+  std::vector<BlockId> touched_;
+  std::vector<std::uint32_t> queue_; // ring of local indices
+  std::vector<std::uint8_t> in_queue_;
+  std::vector<std::uint8_t> visits_left_; // per-node refinement budget
+  std::vector<std::uint8_t> seed_;        // has in-buffer successors
+  std::vector<std::uint16_t> local16_;    // in-buffer blocks, k <= 2^16
+  std::vector<std::uint32_t> local32_;    // in-buffer blocks, larger k
+};
+
 /// Partition \p graph into \p k balanced blocks by streaming it buffer by
 /// buffer in node-id order. The returned partition satisfies the epsilon
-/// balance constraint.
+/// balance constraint and is identical to the disk-native driver's output on
+/// the same stream.
 [[nodiscard]] BufferedResult buffered_partition(const CsrGraph& graph, BlockId k,
                                                 const BufferedConfig& config);
 

@@ -1,0 +1,71 @@
+#include "oms/stream/buffered_stream_driver.hpp"
+
+#include "oms/stream/metis_stream.hpp"
+#include "oms/stream/node_batch.hpp"
+#include "oms/stream/pipeline_core.hpp"
+#include "oms/util/io_error.hpp"
+#include "oms/util/timer.hpp"
+
+namespace oms {
+
+namespace {
+
+/// The balance bound needs the total node weight before any node arrives;
+/// the METIS header only carries n, so weighted files cannot be streamed.
+void require_unit_weights(const std::string& path, const MetisHeader& header) {
+  if (header.has_node_weights) {
+    throw IoError(path + ": buffered disk streaming assumes unit node weights "
+                         "(load the graph in memory instead)");
+  }
+}
+
+[[nodiscard]] BufferedResult finish(BufferedPartitioner&& core, Timer& timer) {
+  BufferedResult result;
+  result.buffers_processed = core.buffers_processed();
+  result.assignment = core.take_assignment();
+  result.elapsed_s = timer.elapsed_s();
+  return result;
+}
+
+} // namespace
+
+BufferedResult buffered_partition_from_file(const std::string& path, BlockId k,
+                                            const BufferedConfig& config) {
+  MetisNodeStream stream(path);
+  require_unit_weights(path, stream.header());
+
+  Timer timer;
+  BufferedPartitioner core(stream.header().num_nodes,
+                           static_cast<NodeWeight>(stream.header().num_nodes), k,
+                           config);
+  NodeBatch batch;
+  while (stream.fill_batch(batch, config.buffer_size) > 0) {
+    core.process_buffer(batch);
+  }
+  return finish(std::move(core), timer);
+}
+
+BufferedResult buffered_partition_from_file(const std::string& path, BlockId k,
+                                            const BufferedConfig& config,
+                                            const PipelineConfig& pipeline) {
+  MetisNodeStream stream(path, pipeline.reader_buffer_bytes);
+  require_unit_weights(path, stream.header());
+
+  Timer timer;
+  BufferedPartitioner core(stream.header().num_nodes,
+                           static_cast<NodeWeight>(stream.header().num_nodes), k,
+                           config);
+  // One consumer: buffers are optimized strictly in stream order while the
+  // reader parses ahead (bounded by the ring — backpressure, not buildup).
+  run_batched_pipeline<NodeBatch>(
+      pipeline.ring_batches, /*consumers=*/1,
+      [&](NodeBatch& batch) {
+        return stream.fill_batch(batch, config.buffer_size);
+      },
+      [&](const NodeBatch& batch, int /*thread_id*/) {
+        core.process_buffer(batch);
+      });
+  return finish(std::move(core), timer);
+}
+
+} // namespace oms

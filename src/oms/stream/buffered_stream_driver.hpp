@@ -1,0 +1,40 @@
+/// \file buffered_stream_driver.hpp
+/// \brief Disk-native buffered streaming partitioning: drive the
+///        BufferedPartitioner core from METIS files via MetisNodeStream
+///        batches, never materializing the graph — O(buffer + k) state
+///        beyond the assignment vector.
+///
+/// Two drivers over the same core:
+///  * sequential — fill_batch() / process_buffer() alternate on one thread;
+///  * pipelined  — the pipeline_core producer/consumer ring parses the next
+///    buffers on a reader thread while the (single) consumer builds and
+///    refines the current model, so ingest overlaps optimization exactly
+///    like the one-pass pipeline. Buffers are always committed in stream
+///    order, so both drivers — and the in-memory buffered_partition() —
+///    produce bit-identical partitions on the same file.
+#pragma once
+
+#include <string>
+
+#include "oms/buffered/buffered_partitioner.hpp"
+#include "oms/stream/pipeline.hpp"
+
+namespace oms {
+
+/// Stream \p path buffer by buffer through the buffered partitioner.
+/// Requires unit node weights (the balance bound Lmax must be known before
+/// the pass; the header only reveals n); throws oms::IoError otherwise, and
+/// for any malformed content, like every disk driver.
+[[nodiscard]] BufferedResult buffered_partition_from_file(
+    const std::string& path, BlockId k, const BufferedConfig& config);
+
+/// Same decisions, pipelined: a reader thread parses buffer b+1..b+ring
+/// while the consumer optimizes buffer b. The model build is inherently
+/// sequential, so \p pipeline.assign_threads is ignored (always 1 consumer);
+/// batch_nodes is governed by config.buffer_size. IoError from the reader
+/// thread is rethrown on the caller after all threads joined.
+[[nodiscard]] BufferedResult buffered_partition_from_file(
+    const std::string& path, BlockId k, const BufferedConfig& config,
+    const PipelineConfig& pipeline);
+
+} // namespace oms

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "oms/stream/streamed_node.hpp"
@@ -46,6 +47,12 @@ public:
   /// Total adjacency entries buffered (used by the reader to bound batch
   /// growth by arcs, not just node count, so hub nodes don't balloon memory).
   [[nodiscard]] std::size_t num_arcs() const noexcept { return neighbors_.size(); }
+
+  /// Every buffered edge weight in one contiguous span (consumers use it to
+  /// detect the all-unit-weights fast path in a single linear scan).
+  [[nodiscard]] std::span<const EdgeWeight> all_edge_weights() const noexcept {
+    return edge_weights_;
+  }
 
   /// The i-th node as the streaming-model unit. Spans borrow the batch and
   /// stay valid until the next reset().

@@ -5,14 +5,13 @@
 namespace oms {
 
 WindowPartitioner::WindowPartitioner(NodeId num_nodes, NodeWeight total_node_weight,
-                                     const CsrGraph& graph,
                                      const WindowConfig& config, BlockId k)
-    : graph_(graph),
-      config_(config),
+    : config_(config),
       k_(k),
       max_block_weight_(max_block_weight(total_node_weight, k, config.epsilon)),
       assignment_(num_nodes, kInvalidBlock),
       weights_(static_cast<std::size_t>(k)),
+      ring_(static_cast<std::size_t>(config.window_size) + 1),
       gather_(static_cast<std::size_t>(k), 0) {
   OMS_ASSERT(k >= 1);
   OMS_ASSERT(config.window_size >= 1);
@@ -24,35 +23,39 @@ void WindowPartitioner::prepare(int num_threads) {
 
 BlockId WindowPartitioner::assign(const StreamedNode& node, int /*thread_id*/,
                                   WorkCounters& counters) {
-  window_.push_back(node.id);
-  if (window_.size() > config_.window_size) {
+  Slot& slot = ring_[(head_ + count_) % ring_.size()];
+  slot.id = node.id;
+  slot.weight = node.weight;
+  slot.neighbors.assign(node.neighbors.begin(), node.neighbors.end());
+  slot.edge_weights.assign(node.edge_weights.begin(), node.edge_weights.end());
+  ++count_;
+  if (count_ > config_.window_size) {
     flush_one(counters);
   }
   // The caller-visible return value is the newest *committed* node's block;
   // the true result lives in the assignment array.
-  return window_.empty() ? assignment_[node.id] : kInvalidBlock;
+  return count_ == 0 ? assignment_[node.id] : kInvalidBlock;
 }
 
 void WindowPartitioner::flush_one(WorkCounters& counters) {
-  const NodeId u = window_.front();
-  window_.pop_front();
+  const Slot& slot = ring_[head_];
+  head_ = (head_ + 1) % ring_.size();
+  --count_;
 
   for (const BlockId b : touched_) {
     gather_[static_cast<std::size_t>(b)] = 0;
   }
   touched_.clear();
-  const auto neigh = graph_.neighbors(u);
-  const auto weights = graph_.incident_weights(u);
-  for (std::size_t i = 0; i < neigh.size(); ++i) {
+  for (std::size_t i = 0; i < slot.neighbors.size(); ++i) {
     counters.neighbor_visits += 1;
-    const BlockId b = assignment_[neigh[i]];
+    const BlockId b = assignment_[slot.neighbors[i]];
     if (b == kInvalidBlock) {
       continue;
     }
     if (gather_[static_cast<std::size_t>(b)] == 0) {
       touched_.push_back(b);
     }
-    gather_[static_cast<std::size_t>(b)] += weights[i];
+    gather_[static_cast<std::size_t>(b)] += slot.edge_weights[i];
   }
 
   BlockId best = kInvalidBlock;
@@ -61,7 +64,7 @@ void WindowPartitioner::flush_one(WorkCounters& counters) {
   for (BlockId b = 0; b < k_; ++b) {
     counters.score_evaluations += 1;
     const NodeWeight w = weights_.load(static_cast<std::size_t>(b));
-    if (w + graph_.node_weight(u) > max_block_weight_) {
+    if (w + slot.weight > max_block_weight_) {
       continue;
     }
     const double score =
@@ -83,14 +86,14 @@ void WindowPartitioner::flush_one(WorkCounters& counters) {
       }
     }
   }
-  weights_.add(static_cast<std::size_t>(best), graph_.node_weight(u));
-  assignment_[u] = best;
+  weights_.add(static_cast<std::size_t>(best), slot.weight);
+  assignment_[slot.id] = best;
   counters.layers_traversed += 1;
 }
 
 std::vector<BlockId> WindowPartitioner::take_assignment() {
   WorkCounters drain;
-  while (!window_.empty()) {
+  while (count_ > 0) {
     flush_one(drain);
   }
   return std::move(assignment_);

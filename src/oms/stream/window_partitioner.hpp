@@ -8,11 +8,15 @@
 /// The window lets a node's decision see a little of its *future* (its
 /// younger neighbors inside the window still count toward block affinity
 /// once those get assigned later — and, conversely, the node's own decision
-/// is delayed until some of its neighbors have arrived). State stays
-/// O(window + k), strictly between one-pass and buffered streaming.
+/// is delayed until some of its neighbors have arrived). Each delayed node's
+/// adjacency is stored inside the window itself (a ring of reusable slots),
+/// so the partitioner needs no backing graph: it runs one-pass from disk via
+/// run_one_pass_from_file exactly like the undelayed algorithms, with state
+/// O(window adjacency + k), strictly between one-pass and buffered
+/// streaming.
 #pragma once
 
-#include <deque>
+#include <vector>
 
 #include "oms/partition/partition_config.hpp"
 #include "oms/stream/block_weights.hpp"
@@ -35,7 +39,7 @@ struct WindowConfig {
 class WindowPartitioner final : public OnePassAssigner {
 public:
   WindowPartitioner(NodeId num_nodes, NodeWeight total_node_weight,
-                    const CsrGraph& graph, const WindowConfig& config, BlockId k);
+                    const WindowConfig& config, BlockId k);
 
   void prepare(int num_threads) override;
   BlockId assign(const StreamedNode& node, int thread_id,
@@ -45,17 +49,27 @@ public:
   [[nodiscard]] std::vector<BlockId> take_assignment() override;
 
 private:
+  /// One delayed node, adjacency and all. Slots are recycled as the ring
+  /// advances, so their vectors' capacity amortizes to zero allocation.
+  struct Slot {
+    NodeId id = 0;
+    NodeWeight weight = 1;
+    std::vector<NodeId> neighbors;
+    std::vector<EdgeWeight> edge_weights;
+  };
+
   /// Permanently place the oldest windowed node with an LDG-style score over
   /// its already-assigned neighbors.
   void flush_one(WorkCounters& counters);
 
-  const CsrGraph& graph_; // window re-reads neighborhoods of delayed nodes
   WindowConfig config_;
   BlockId k_;
   NodeWeight max_block_weight_;
   std::vector<BlockId> assignment_;
   BlockWeights weights_;
-  std::deque<NodeId> window_;
+  std::vector<Slot> ring_; // capacity window_size + 1 (push, then flush)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   std::vector<EdgeWeight> gather_;
   std::vector<BlockId> touched_;
 };

@@ -74,6 +74,59 @@ check_clean_error "in-memory neighbor out of range" 1 \
 check_clean_error "in-memory malformed header" 1 \
   "$tool" "$tmpdir/badheader.graph" --k 2
 
+# --- Disk-native buffered and window models ---------------------------------
+
+# Both stream from disk now: well-formed controls must succeed, sequential
+# and pipelined, with the new tuning flags accepted.
+check_clean_error "buffered from-disk control" 0 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo buffered --from-disk \
+  --buffer-size 2 --refine-iters 1
+check_clean_error "buffered pipelined control" 0 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo buffered --pipeline
+check_clean_error "window from-disk control" 0 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo window --from-disk --window-size 2
+check_clean_error "window pipelined control" 0 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo window --pipeline
+check_clean_error "buffered in-memory with flags" 0 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo buffered --buffer-size 100 \
+  --refine-iters 0
+check_clean_error "window in-memory with flags" 0 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo window --window-size 10
+
+# IoError mid-buffer: malformed content must exit 1 from the buffered and
+# window disk drivers (sequential and pipelined), never hang or SIGABRT.
+check_clean_error "buffered from-disk neighbor out of range" 1 \
+  "$tool" "$tmpdir/range.graph" --k 2 --algo buffered --from-disk
+check_clean_error "buffered pipelined non-numeric token" 1 \
+  "$tool" "$tmpdir/garbage.graph" --k 2 --algo buffered --pipeline
+check_clean_error "window from-disk non-numeric token" 1 \
+  "$tool" "$tmpdir/garbage.graph" --k 2 --algo window --from-disk
+check_clean_error "window pipelined neighbor out of range" 1 \
+  "$tool" "$tmpdir/range.graph" --k 2 --algo window --pipeline
+
+# Truly-unsupported combinations keep a single exit-2 diagnostic: the window
+# commits in stream order, so more than one pipeline consumer is impossible.
+check_clean_error "window pipelined multi-consumer" 2 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo window --pipeline --io-threads 2
+check_clean_error "window pipelined all-hardware consumers" 2 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo window --pipeline --io-threads 0
+
+# Flag validation: out-of-range tuning values are usage errors (exit 2).
+check_clean_error "zero buffer size" 2 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo buffered --buffer-size 0
+check_clean_error "negative refine iterations" 2 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo buffered --refine-iters -1
+check_clean_error "zero window size" 2 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo window --window-size 0
+check_clean_error "buffer size beyond the node-id range" 2 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo buffered --buffer-size 99999999999
+
+# Node-weighted graphs cannot stream from disk (Lmax needs the total weight
+# upfront): rejected before any parsing with the usage-level exit code.
+printf '2 1 10\n5 2\n7 1\n' > "$tmpdir/weighted.graph"
+check_clean_error "buffered from-disk node-weighted graph" 2 \
+  "$tool" "$tmpdir/weighted.graph" --k 2 --algo buffered --from-disk
+
 # --- Edge-list (vertex-cut) inputs -----------------------------------------
 
 # A well-formed control file (extension autodetection picks the format).

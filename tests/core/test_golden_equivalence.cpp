@@ -29,21 +29,12 @@
 #include "oms/stream/one_pass_driver.hpp"
 #include "oms/stream/pipeline.hpp"
 #include "oms/util/random.hpp"
+#include "tests/test_support.hpp"
 
 namespace oms {
 namespace {
 
-[[nodiscard]] std::uint64_t fnv1a(const std::vector<BlockId>& assignment) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const BlockId b : assignment) {
-    auto v = static_cast<std::uint64_t>(static_cast<std::uint32_t>(b));
-    for (int i = 0; i < 4; ++i) {
-      h ^= (v >> (8 * i)) & 0xffU;
-      h *= 0x100000001b3ULL;
-    }
-  }
-  return h;
-}
+using testing::fnv1a;
 
 /// Deterministic weighted multigraph-free graph with non-unit node and edge
 /// weights (the descent must be exact for weighted capacities too).

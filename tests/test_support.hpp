@@ -50,6 +50,20 @@ namespace oms::testing {
   return hash_combine(test_seed(), draw);
 }
 
+/// FNV-1a over the little-endian bytes of each block id — the fingerprint
+/// the golden-equivalence suites pin (core, window, buffered).
+[[nodiscard]] inline std::uint64_t fnv1a(const std::vector<BlockId>& assignment) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const BlockId b : assignment) {
+    auto v = static_cast<std::uint64_t>(static_cast<std::uint32_t>(b));
+    for (int i = 0; i < 4; ++i) {
+      h ^= (v >> (8 * i)) & 0xffU;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
 /// Path 0-1-2-...-(n-1).
 inline CsrGraph path_graph(NodeId n) {
   GraphBuilder builder(n);

@@ -21,7 +21,12 @@ warning annotations), 1 = normalized geomean regression above --fail,
 
 Usage:
   bench_regression_gate.py NEW_JSON BASELINE_JSON \
-      [--prefix BM_Stream] [--fail 0.15] [--warn 0.05] [--no-normalize]
+      [--prefix BM_Stream [--prefix BM_Buffered ...]] \
+      [--fail 0.15] [--warn 0.05] [--no-normalize]
+
+--prefix may be repeated (or given comma-separated): a benchmark is gated
+when its name starts with ANY prefix; all remaining common benchmarks are
+the normalization anchors.
 """
 
 import argparse
@@ -57,8 +62,10 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("new_json")
     parser.add_argument("baseline_json")
-    parser.add_argument("--prefix", default="BM_Stream",
-                        help="gate benchmarks whose name starts with this")
+    parser.add_argument("--prefix", action="append", default=None,
+                        help="gate benchmarks whose name starts with any of "
+                             "these (repeatable, comma-separated allowed; "
+                             "default: BM_Stream)")
     parser.add_argument("--fail", type=float, default=0.15,
                         help="fail when the gated geomean regresses more than this")
     parser.add_argument("--warn", type=float, default=0.05,
@@ -66,6 +73,9 @@ def main():
     parser.add_argument("--no-normalize", action="store_true",
                         help="skip the anchor normalization (same-machine diffs)")
     args = parser.parse_args()
+    prefixes = []
+    for entry in (args.prefix or ["BM_Stream"]):
+        prefixes.extend(p for p in entry.split(",") if p)
 
     new = load_benchmarks(args.new_json)
     base = load_benchmarks(args.baseline_json)
@@ -86,10 +96,11 @@ def main():
               f"benchmark(s) no longer produced by this run: "
               f"{', '.join(removed)}")
     ratios = {n: new[n] / base[n] for n in common}
-    gated = [n for n in common if n.startswith(args.prefix)]
-    anchors = [n for n in common if not n.startswith(args.prefix)]
+    gated = [n for n in common if n.startswith(tuple(prefixes))]
+    anchors = [n for n in common if not n.startswith(tuple(prefixes))]
+    prefix_label = "|".join(prefixes)
     if not gated:
-        print(f"error: no common benchmarks with prefix '{args.prefix}' "
+        print(f"error: no common benchmarks with prefix '{prefix_label}' "
               f"({len(common)} common overall)", file=sys.stderr)
         sys.exit(2)
 
@@ -103,7 +114,7 @@ def main():
     print(f"{'benchmark':40s} {'baseline':>12s} {'new':>12s} {'ratio':>7s} {'norm':>7s}")
     for name in common:
         norm = ratios[name] / machine
-        in_gate = name.startswith(args.prefix)
+        in_gate = name.startswith(tuple(prefixes))
         marker = "  <-- slower" if in_gate and norm > 1 + args.warn else ""
         print(f"{name:40s} {base[name]:12.0f} {new[name]:12.0f} "
               f"{ratios[name]:6.2f}x {norm:6.2f}x{marker}")
@@ -115,14 +126,14 @@ def main():
     gated_geomean = geomean([ratios[n] for n in gated]) / machine
     print(f"\nmachine factor (geomean of {len(anchors)} anchor benchmarks): "
           f"{machine:.3f}x")
-    print(f"gated geomean ({args.prefix}*, {len(gated)} benchmarks, "
+    print(f"gated geomean ({prefix_label}*, {len(gated)} benchmarks, "
           f"normalized): {gated_geomean:.3f}x baseline")
     if gated_geomean > 1 + args.fail:
-        print(f"::error title=bench regression::{args.prefix}* normalized "
+        print(f"::error title=bench regression::{prefix_label}* normalized "
               f"geomean {gated_geomean:.3f}x exceeds the {1 + args.fail:.2f}x gate")
         sys.exit(1)
     if gated_geomean > 1 + args.warn:
-        print(f"::warning title=bench drift::{args.prefix}* normalized geomean "
+        print(f"::warning title=bench drift::{prefix_label}* normalized geomean "
               f"{gated_geomean:.3f}x baseline (gate is {1 + args.fail:.2f}x)")
     print("bench regression gate: OK")
     sys.exit(0)
