@@ -207,6 +207,23 @@ void BM_BufferedPartition(benchmark::State& state) {
 }
 BENCHMARK(BM_BufferedPartition)->Arg(4096)->Arg(16384);
 
+void BM_BufferedMultilevel(benchmark::State& state) {
+  // Same buffered core with the multilevel inner engine: contract the
+  // buffer-local model, partition the coarsest level, refine back up.
+  const auto buffer = static_cast<NodeId>(state.range(0));
+  const CsrGraph& graph = shared_graph();
+  for (auto _ : state) {
+    BufferedConfig config;
+    config.buffer_size = buffer;
+    config.engine = BufferedEngine::kMultilevel;
+    const BufferedResult r = buffered_partition(graph, 64, config);
+    benchmark::DoNotOptimize(r.assignment.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.num_nodes()));
+}
+BENCHMARK(BM_BufferedMultilevel)->Arg(4096)->Arg(16384);
+
 void BM_WindowPartition(benchmark::State& state) {
   // Sliding-window assignment throughput (delayed decisions, k-wide scan).
   const auto k = static_cast<BlockId>(state.range(0));

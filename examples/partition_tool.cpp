@@ -11,6 +11,7 @@
 ///                  [--hierarchy 4:16:2 --distances 1:10:100]
 ///                  [--epsilon 0.03] [--lambda 1.1] [--threads 1] [--seed 1]
 ///                  [--buffer-size 4096] [--refine-iters 3]
+///                  [--buffered-engine lp|multilevel]
 ///                  [--window-size 1024]
 ///                  [--output partition.txt] [--from-disk]
 ///                  [--pipeline] [--io-threads 1]
@@ -78,6 +79,7 @@ struct Options {
   std::uint64_t seed = 1;
   long buffer_size = 4096;  ///< buffered model: nodes per buffer
   long refine_iters = 3;    ///< buffered model: refinement budget multiplier
+  std::optional<std::string> buffered_engine; ///< lp | multilevel
   long window_size = 1024;  ///< sliding window: delayed nodes
   std::string output;
   bool from_disk = false;
@@ -98,6 +100,7 @@ struct Options {
          "[--seed S]\n"
          "                      [--buffer-size N] [--refine-iters N] "
          "[--window-size N]\n"
+         "                      [--buffered-engine lp|multilevel]\n"
          "                      [--output FILE] [--from-disk]\n"
          "                      [--pipeline] [--io-threads T]\n";
   std::exit(exit_code);
@@ -190,6 +193,13 @@ Options parse_args(int argc, char** argv) {
       opt.seed = u64_value();
     } else if (arg == "--buffer-size") {
       opt.buffer_size = long_value();
+    } else if (arg == "--buffered-engine") {
+      opt.buffered_engine = value();
+      if (*opt.buffered_engine != "lp" && *opt.buffered_engine != "multilevel") {
+        std::cerr << "error: --buffered-engine must be 'lp' or 'multilevel' (got '"
+                  << *opt.buffered_engine << "')\n";
+        usage();
+      }
     } else if (arg == "--refine-iters") {
       opt.refine_iters = long_value();
     } else if (arg == "--window-size") {
@@ -250,12 +260,21 @@ std::unique_ptr<oms::OnePassAssigner> make_assigner(const Options& opt, oms::Nod
   usage();
 }
 
-oms::BufferedConfig buffered_config(const Options& opt) {
+oms::BufferedConfig buffered_config(const Options& opt,
+                                    const std::optional<oms::SystemHierarchy>& topo) {
   oms::BufferedConfig bc;
   bc.buffer_size = static_cast<oms::NodeId>(opt.buffer_size);
   bc.epsilon = opt.epsilon;
   bc.seed = opt.seed;
   bc.refinement_iterations = static_cast<int>(opt.refine_iters);
+  if (opt.buffered_engine.has_value() && *opt.buffered_engine == "multilevel") {
+    bc.engine = oms::BufferedEngine::kMultilevel;
+  }
+  if (topo.has_value()) {
+    // Buffered streaming then optimizes the mapping objective J directly
+    // (distance-weighted gains) instead of plain edge cut.
+    bc.hierarchy = &*topo;
+  }
   return bc;
 }
 
@@ -311,6 +330,10 @@ int run_tool(Options opt) {
   }
   if (opt.k < 1) {
     std::cerr << "error: need --k or --hierarchy\n";
+    return 2;
+  }
+  if (opt.buffered_engine.has_value() && opt.algo != "buffered") {
+    std::cerr << "error: --buffered-engine requires --algo buffered\n";
     return 2;
   }
   if (!std::isfinite(opt.epsilon) || opt.epsilon < 0.0) {
@@ -400,10 +423,11 @@ int run_tool(Options opt) {
       BufferedResult br;
       if (opt.pipeline) {
         br = buffered_partition_from_file(opt.graph_path, opt.k,
-                                          buffered_config(opt), PipelineConfig{});
+                                          buffered_config(opt, topo),
+                                          PipelineConfig{});
       } else {
         br = buffered_partition_from_file(opt.graph_path, opt.k,
-                                          buffered_config(opt));
+                                          buffered_config(opt, topo));
       }
       result.assignment = std::move(br.assignment);
       result.elapsed_s = br.elapsed_s;
@@ -438,7 +462,8 @@ int run_tool(Options opt) {
         std::cerr << "note: buffered partitioning is sequential; --threads "
                      "only affects the mapping-cost evaluation\n";
       }
-      BufferedResult br = buffered_partition(graph, opt.k, buffered_config(opt));
+      BufferedResult br =
+          buffered_partition(graph, opt.k, buffered_config(opt, topo));
       result.assignment = std::move(br.assignment);
       result.elapsed_s = br.elapsed_s;
     } else {

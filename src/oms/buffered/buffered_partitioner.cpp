@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "oms/mapping/hierarchy.hpp"
+#include "oms/multilevel/buffer_multilevel.hpp"
 #include "oms/util/assert.hpp"
 #include "oms/util/timer.hpp"
 
@@ -20,6 +22,7 @@ BufferedPartitioner::BufferedPartitioner(NodeId num_nodes,
     : k_(k),
       lmax_(oms::max_block_weight(total_node_weight, k, config.epsilon)),
       refinement_iterations_(config.refinement_iterations),
+      engine_(config.engine),
       assignment_(num_nodes, kInvalidBlock),
       block_weight_(as_index(k), 0),
       penalty_(as_index(k), 1.0),
@@ -27,7 +30,32 @@ BufferedPartitioner::BufferedPartitioner(NodeId num_nodes,
   OMS_ASSERT(k >= 1);
   OMS_ASSERT(config.buffer_size >= 1);
   OMS_ASSERT(config.refinement_iterations >= 0);
+  if (config.hierarchy != nullptr) {
+    OMS_ASSERT_MSG(config.hierarchy->num_pes() == k,
+                   "hierarchy PE count must equal the number of blocks");
+    dist_.resize(as_index(k) * as_index(k));
+    for (BlockId x = 0; x < k; ++x) {
+      for (BlockId y = 0; y < k; ++y) {
+        const std::int64_t d = config.hierarchy->distance(x, y);
+        dist_[as_index(x) * as_index(k) + as_index(y)] = d;
+        dist_max_ = std::max(dist_max_, d);
+      }
+    }
+  }
+  if (config.engine == BufferedEngine::kMultilevel) {
+    BufferMultilevelConfig ml;
+    ml.coarse_floor = config.ml_coarse_floor;
+    ml.coarsening_factor = config.ml_coarsening_factor;
+    ml.max_levels = config.ml_max_levels;
+    ml.clustering_iterations = config.ml_clustering_iterations;
+    ml.initial_attempts = config.ml_initial_attempts;
+    ml.refinement_iterations = config.ml_refinement_iterations;
+    ml.seed = config.seed;
+    ml_ = std::make_unique<BufferMultilevel>(k, ml);
+  }
 }
+
+BufferedPartitioner::~BufferedPartitioner() = default;
 
 void BufferedPartitioner::set_block_weight(BlockId b, NodeWeight w) {
   block_weight_[as_index(b)] = w;
@@ -148,17 +176,62 @@ void BufferedPartitioner::build_and_place(std::vector<LocalBlock>& local,
     BlockId best = kInvalidBlock;
     double best_score = -1.0;
     NodeWeight best_weight = 0;
-    for (const BlockId b : touched_) {
-      const NodeWeight w = block_weight_[as_index(b)];
-      if (w + weight > lmax_) {
-        continue;
+    if (!dist_.empty()) {
+      // Mapping-aware placement: put the node where its communication is
+      // cheapest, i.e. minimize sum over connected blocks of conn * d(b, b').
+      // A block with no direct connection can still win when it sits close
+      // to the blocks this node communicates with, so all k are candidates.
+      // Strict cost minimization snowballs on scale-free streams (the LDG
+      // penalty exists to stop exactly that), so the distance cost is only
+      // the *primary* key: among blocks within one distance unit per
+      // connection of the optimum — in practice, the optimum's whole
+      // hierarchy group — the lightest block wins. Balance pressure stays
+      // local to the group, where it is J-neutral.
+      std::int64_t total_connection = 0;
+      for (const BlockId t : touched_) {
+        total_connection += gather[as_index(t)];
       }
-      const double score =
-          static_cast<double>(gather_[as_index(b)]) * penalty_[as_index(b)];
-      if (score > best_score || (score == best_score && w < best_weight)) {
-        best = b;
-        best_score = score;
-        best_weight = w;
+      std::int64_t best_cost = 0;
+      for (BlockId b = 0; b < k_; ++b) {
+        const NodeWeight w = block_weight_[as_index(b)];
+        if (w + weight > lmax_) {
+          continue;
+        }
+        const std::int64_t* const row = dist_.data() + as_index(b) * as_index(k_);
+        std::int64_t cost = 0;
+        for (const BlockId t : touched_) {
+          cost += gather[as_index(t)] * row[as_index(t)];
+        }
+        if (best == kInvalidBlock) {
+          best = b;
+          best_cost = cost;
+          best_weight = w;
+          continue;
+        }
+        const std::int64_t slack = total_connection;
+        if (cost + slack < best_cost ||
+            (cost <= best_cost + slack && w < best_weight)) {
+          best = b;
+          best_cost = std::min(best_cost, cost);
+          best_weight = w;
+        }
+      }
+      if (best != kInvalidBlock) {
+        best_score = 1.0; // feasible choice made; skip the fallback below
+      }
+    } else {
+      for (const BlockId b : touched_) {
+        const NodeWeight w = block_weight_[as_index(b)];
+        if (w + weight > lmax_) {
+          continue;
+        }
+        const double score =
+            static_cast<double>(gather_[as_index(b)]) * penalty_[as_index(b)];
+        if (score > best_score || (score == best_score && w < best_weight)) {
+          best = b;
+          best_score = score;
+          best_weight = w;
+        }
       }
     }
     if (best == kInvalidBlock || best_score <= 0.0) {
@@ -259,22 +332,53 @@ void BufferedPartitioner::refine(std::vector<LocalBlock>& local) {
     const NodeWeight weight = node_weight_[i];
     gather_connections(local, i);
     BlockId best = current;
-    EdgeWeight best_connection = gather_[as_index(current)];
-    NodeWeight best_weight = block_weight_[as_index(current)];
-    for (const BlockId b : touched_) {
-      if (b == current) {
-        continue;
+    if (!dist_.empty()) {
+      // Mapping-aware move rule: maximize the distance-discounted connection
+      // volume (equivalently, minimize this node's contribution to J); all k
+      // blocks are candidates, same reasoning as in placement.
+      const auto gain_of = [&](BlockId b) {
+        const std::int64_t* const row = dist_.data() + as_index(b) * as_index(k_);
+        std::int64_t gain = 0;
+        for (const BlockId t : touched_) {
+          gain += gather_[as_index(t)] * (dist_max_ - row[as_index(t)]);
+        }
+        return gain;
+      };
+      std::int64_t best_gain = gain_of(current);
+      NodeWeight best_weight = block_weight_[as_index(current)];
+      for (BlockId b = 0; b < k_; ++b) {
+        if (b == current) {
+          continue;
+        }
+        const NodeWeight w = block_weight_[as_index(b)];
+        if (w + weight > lmax_) {
+          continue;
+        }
+        const std::int64_t gain = gain_of(b);
+        if (gain > best_gain || (gain == best_gain && w < best_weight)) {
+          best = b;
+          best_gain = gain;
+          best_weight = w;
+        }
       }
-      const NodeWeight w = block_weight_[as_index(b)];
-      if (w + weight > lmax_) {
-        continue;
-      }
-      const EdgeWeight connection = gather_[as_index(b)];
-      if (connection > best_connection ||
-          (connection == best_connection && w < best_weight)) {
-        best = b;
-        best_connection = connection;
-        best_weight = w;
+    } else {
+      EdgeWeight best_connection = gather_[as_index(current)];
+      NodeWeight best_weight = block_weight_[as_index(current)];
+      for (const BlockId b : touched_) {
+        if (b == current) {
+          continue;
+        }
+        const NodeWeight w = block_weight_[as_index(b)];
+        if (w + weight > lmax_) {
+          continue;
+        }
+        const EdgeWeight connection = gather_[as_index(b)];
+        if (connection > best_connection ||
+            (connection == best_connection && w < best_weight)) {
+          best = b;
+          best_connection = connection;
+          best_weight = w;
+        }
       }
     }
     if (best == current) {
@@ -310,12 +414,53 @@ void BufferedPartitioner::refine(std::vector<LocalBlock>& local) {
   touched_.clear();
 }
 
+template <typename LocalBlock>
+void BufferedPartitioner::refine_multilevel(std::vector<LocalBlock>& local) {
+  if (size_ == 0 || k_ == 1) {
+    return;
+  }
+  BufferModelView model;
+  model.num_nodes = size_;
+  model.intra_offset = intra_offset_.data();
+  model.intra_target = intra_target_.data();
+  model.intra_weight = intra_unit_ ? nullptr : intra_weight_.data();
+  model.node_weight = node_weight_.data();
+  model.super_offset = super_offset_.data();
+  model.super_block = super_block_.data();
+  model.super_weight = super_weight_.data();
+
+  ml_part_.resize(size_);
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    ml_part_[i] = static_cast<BlockId>(local[i]);
+  }
+  // The buffer index salts the engine's RNG: every buffer explores fresh
+  // seeds, yet all entry points (in-memory, disk, pipelined) feed identical
+  // buffers in identical order and therefore agree bit for bit.
+  ml_->improve(model, ml_part_, block_weight_, lmax_,
+               dist_.empty() ? nullptr : dist_.data(),
+               static_cast<std::uint64_t>(buffers_processed_));
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    local[i] = static_cast<LocalBlock>(ml_part_[i]);
+  }
+  // improve() rewrote block_weight_ in place; resync the cached penalties.
+  for (BlockId b = 0; b < k_; ++b) {
+    set_block_weight(b, block_weight_[as_index(b)]);
+  }
+}
+
 template <bool kUnit, typename LocalBlock, typename NodeAt>
 void BufferedPartitioner::run_buffer(std::vector<LocalBlock>& local,
                                      NodeId first_id, std::uint32_t count,
                                      std::size_t arc_bound, NodeAt&& node_at) {
   build_and_place<kUnit>(local, first_id, count, arc_bound, node_at);
+  // The cheap active-set refine always runs: its result is the multilevel
+  // engine's incoming candidate (and never-worse fallback), anchoring the
+  // two engines' trajectories together — they only diverge on buffers where
+  // the V-cycle strictly improves the model objective.
   refine(local);
+  if (engine_ == BufferedEngine::kMultilevel) {
+    refine_multilevel(local);
+  }
   // One sequential flush per buffer: the hot loops above only touch the
   // compact local array (half a BlockId each, L1-resident at the default
   // buffer size), never the O(n) assignment.

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "oms/graph/csr_graph.hpp"
@@ -35,18 +36,47 @@
 
 namespace oms {
 
+class BufferMultilevel;
+class SystemHierarchy;
+
+/// Inner optimization engine run on each buffer-local model.
+enum class BufferedEngine {
+  /// Flat active-set label propagation (the "lite" default): fastest, and
+  /// golden-pinned bit for bit across releases.
+  kLp,
+  /// HeiStream-proper: contract the model by LP clustering, partition the
+  /// coarsest level best-of-seeds, project and refine back down. Better cuts
+  /// (the buffer is optimized with a global view) at a few times the cost.
+  kMultilevel,
+};
+
 struct BufferedConfig {
   /// Nodes per buffer ("delta" in HeiStream). Larger buffers see more of the
   /// graph at once and cut fewer edges, at higher latency per decision.
   NodeId buffer_size = 4096;
   double epsilon = 0.03;
-  /// Unused since the active-set refinement replaced the shuffled sweeps
-  /// (the algorithm is deterministic); kept so configs stay serializable.
+  /// Seed for the multilevel engine's shuffled sweeps and BFS starts. The lp
+  /// engine is deterministic (active-set, no RNG) and ignores it.
   std::uint64_t seed = 1;
   /// Refinement budget: the active set examines each buffer node at most
   /// this many times (total work thus bounded like that many full
   /// label-propagation sweeps, but the queue usually drains far earlier).
   int refinement_iterations = 3;
+  BufferedEngine engine = BufferedEngine::kLp;
+  /// Multilevel-engine knobs (engine == kMultilevel); see
+  /// BufferMultilevelConfig for semantics.
+  NodeId ml_coarse_floor = 128;
+  int ml_coarsening_factor = 2;
+  int ml_max_levels = 20;
+  int ml_clustering_iterations = 1;
+  int ml_initial_attempts = 3;
+  int ml_refinement_iterations = 2;
+  /// Optional process-mapping topology. When set (num_pes() must equal k),
+  /// placement and refinement score block gains against the hierarchy's
+  /// layer distances — buffered streaming then optimizes the paper's mapping
+  /// objective J instead of plain edge cut. Not owned; must outlive the
+  /// partitioner.
+  const SystemHierarchy* hierarchy = nullptr;
 };
 
 struct BufferedResult {
@@ -62,6 +92,7 @@ class BufferedPartitioner {
 public:
   BufferedPartitioner(NodeId num_nodes, NodeWeight total_node_weight, BlockId k,
                       const BufferedConfig& config);
+  ~BufferedPartitioner(); // out of line: BufferMultilevel is incomplete here
 
   /// Jointly place and refine one buffer of nodes, then commit it. The batch
   /// must start at the next unseen node id; adjacency may reference any node
@@ -109,6 +140,12 @@ private:
   template <typename LocalBlock>
   void refine(std::vector<LocalBlock>& local);
 
+  /// Hand the buffer-local model to the multilevel engine (widening the
+  /// compact local blocks to BlockId and back); the engine updates
+  /// block_weight_ directly, so the cached penalties are resynced after.
+  template <typename LocalBlock>
+  void refine_multilevel(std::vector<LocalBlock>& local);
+
   /// build_and_place + refine + one sequential flush of the buffer's blocks
   /// into the O(n) assignment.
   template <bool kUnit, typename LocalBlock, typename NodeAt>
@@ -127,7 +164,14 @@ private:
   BlockId k_;
   NodeWeight lmax_;
   int refinement_iterations_;
+  BufferedEngine engine_;
   std::size_t buffers_processed_ = 0;
+  std::unique_ptr<BufferMultilevel> ml_; // engine_ == kMultilevel only
+  std::vector<BlockId> ml_part_;         // widened local blocks for ml_
+  // Process-mapping state (empty when no hierarchy is configured): k*k
+  // row-major block distances and their maximum, for J-aware gain scoring.
+  std::vector<std::int64_t> dist_;
+  std::int64_t dist_max_ = 0;
   std::vector<BlockId> assignment_;      // O(n): the output
   std::vector<NodeWeight> block_weight_; // O(k)
   std::vector<double> penalty_;          // O(k): 1 - w/Lmax, kept in sync

@@ -1,0 +1,208 @@
+/// \file inner_kernels.hpp
+/// \brief The multilevel module's inner algorithms as templates over a
+///        minimal graph concept, so the same code runs on a full CsrGraph
+///        (multilevel_partition) and on the buffered core's arena-backed
+///        buffer-local model (BufferMultilevel) without copying either into
+///        the other's representation.
+///
+/// Graph concept:
+///   NodeId num_nodes();
+///   NodeWeight node_weight(NodeId u);
+///   <range of NodeId> neighbors(NodeId u);
+///   <indexable by arc position> incident_weights(NodeId u);
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "oms/types.hpp"
+#include "oms/util/random.hpp"
+
+namespace oms {
+
+/// Sparse gather of connection weights keyed by label; reset via touched list.
+class ConnectionGather {
+public:
+  explicit ConnectionGather(std::size_t universe) : weight_(universe, 0) {}
+
+  void add(std::size_t label, EdgeWeight w) {
+    if (weight_[label] == 0) {
+      touched_.push_back(label);
+    }
+    weight_[label] += w;
+  }
+
+  [[nodiscard]] EdgeWeight get(std::size_t label) const { return weight_[label]; }
+  [[nodiscard]] const std::vector<std::size_t>& touched() const { return touched_; }
+
+  void clear() {
+    for (const std::size_t label : touched_) {
+      weight_[label] = 0;
+    }
+    touched_.clear();
+  }
+
+  /// Widen the universe (the buffered engine reuses one gather across buffers
+  /// whose sizes differ). Keeps the all-zero invariant.
+  void ensure_universe(std::size_t universe) {
+    if (weight_.size() < universe) {
+      weight_.resize(universe, 0);
+    }
+  }
+
+private:
+  std::vector<EdgeWeight> weight_;
+  std::vector<std::size_t> touched_;
+};
+
+/// Size-constrained label-propagation clustering (the coarsening workhorse):
+/// every node starts as its own cluster; nodes greedily join the neighboring
+/// cluster with the heaviest connection, subject to the weight cap. Returns
+/// cluster ids renumbered densely to [0, num_clusters).
+template <typename Graph>
+[[nodiscard]] std::vector<NodeId> lp_cluster_impl(const Graph& graph,
+                                                  NodeWeight max_cluster_weight,
+                                                  int max_iterations,
+                                                  std::uint64_t seed) {
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> cluster(n);
+  std::iota(cluster.begin(), cluster.end(), NodeId{0});
+  std::vector<NodeWeight> cluster_weight(n);
+  for (NodeId u = 0; u < n; ++u) {
+    cluster_weight[u] = graph.node_weight(u);
+  }
+
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  Rng rng(seed);
+  ConnectionGather gather(n);
+
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    rng.shuffle(order);
+    std::size_t moved = 0;
+    for (const NodeId u : order) {
+      const auto neigh = graph.neighbors(u);
+      if (neigh.empty()) {
+        continue;
+      }
+      const auto weights = graph.incident_weights(u);
+      for (std::size_t i = 0; i < neigh.size(); ++i) {
+        gather.add(cluster[neigh[i]], weights[i]);
+      }
+      const NodeId current = cluster[u];
+      NodeId best = current;
+      EdgeWeight best_connection = gather.get(current);
+      for (const std::size_t candidate : gather.touched()) {
+        const auto c = static_cast<NodeId>(candidate);
+        if (c == current) {
+          continue;
+        }
+        if (cluster_weight[c] + graph.node_weight(u) > max_cluster_weight) {
+          continue;
+        }
+        const EdgeWeight connection = gather.get(candidate);
+        if (connection > best_connection ||
+            (connection == best_connection && c < best)) {
+          best = c;
+          best_connection = connection;
+        }
+      }
+      gather.clear();
+      if (best != current) {
+        cluster_weight[current] -= graph.node_weight(u);
+        cluster_weight[best] += graph.node_weight(u);
+        cluster[u] = best;
+        ++moved;
+      }
+    }
+    if (moved == 0) {
+      break;
+    }
+  }
+
+  // Dense renumbering of surviving cluster ids.
+  std::vector<NodeId> remap(n, kInvalidNode);
+  NodeId next = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    NodeId& slot = remap[cluster[u]];
+    if (slot == kInvalidNode) {
+      slot = next++;
+    }
+    cluster[u] = slot;
+  }
+  return cluster;
+}
+
+/// BFS-band initial partitioning: walk the graph in BFS order filling blocks
+/// 0..k-1 up to the capacity left by \p base_block_weight (weight already
+/// committed to each block from outside the graph; empty = all zero, the
+/// classic from-scratch case). Returns an empty partition for n == 0 — the
+/// empty graph must not roll the RNG (next_below(0) is UB).
+template <typename Graph>
+[[nodiscard]] std::vector<BlockId> bfs_band_impl(
+    const Graph& graph, BlockId k, NodeWeight max_block_weight,
+    std::span<const NodeWeight> base_block_weight, std::uint64_t seed) {
+  const NodeId n = graph.num_nodes();
+  std::vector<BlockId> partition(n, kInvalidBlock);
+  if (n == 0) {
+    return partition;
+  }
+  std::vector<bool> visited(n, false);
+  std::vector<NodeWeight> block_weight(base_block_weight.begin(),
+                                       base_block_weight.end());
+  block_weight.resize(static_cast<std::size_t>(k), 0);
+
+  Rng rng(seed);
+  BlockId current = 0;
+  const auto place = [&](NodeId u) {
+    // Advance to the next block with room; wrap once if needed.
+    for (BlockId probes = 0; probes < k; ++probes) {
+      const BlockId b = (current + probes) % k;
+      if (block_weight[static_cast<std::size_t>(b)] + graph.node_weight(u) <=
+          max_block_weight) {
+        current = b;
+        block_weight[static_cast<std::size_t>(b)] += graph.node_weight(u);
+        partition[u] = b;
+        return;
+      }
+    }
+    // All full (only possible with eps == 0 and awkward weights): lightest.
+    BlockId lightest = 0;
+    for (BlockId b = 1; b < k; ++b) {
+      if (block_weight[static_cast<std::size_t>(b)] <
+          block_weight[static_cast<std::size_t>(lightest)]) {
+        lightest = b;
+      }
+    }
+    block_weight[static_cast<std::size_t>(lightest)] += graph.node_weight(u);
+    partition[u] = lightest;
+  };
+
+  std::queue<NodeId> queue;
+  const auto start = static_cast<NodeId>(rng.next_below(n));
+  for (NodeId offset = 0; offset < n; ++offset) {
+    const NodeId root = (start + offset) % n;
+    if (visited[root]) {
+      continue;
+    }
+    visited[root] = true;
+    queue.push(root);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop();
+      place(u);
+      for (const NodeId v : graph.neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          queue.push(v);
+        }
+      }
+    }
+  }
+  return partition;
+}
+
+} // namespace oms

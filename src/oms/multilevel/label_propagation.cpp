@@ -3,111 +3,17 @@
 #include <algorithm>
 #include <numeric>
 
+#include "oms/multilevel/inner_kernels.hpp"
 #include "oms/util/assert.hpp"
 #include "oms/util/random.hpp"
 
 namespace oms {
-namespace {
-
-/// Sparse gather of connection weights keyed by label; reset via touched list.
-class ConnectionGather {
-public:
-  explicit ConnectionGather(std::size_t universe) : weight_(universe, 0) {}
-
-  void add(std::size_t label, EdgeWeight w) {
-    if (weight_[label] == 0) {
-      touched_.push_back(label);
-    }
-    weight_[label] += w;
-  }
-
-  [[nodiscard]] EdgeWeight get(std::size_t label) const { return weight_[label]; }
-  [[nodiscard]] const std::vector<std::size_t>& touched() const { return touched_; }
-
-  void clear() {
-    for (const std::size_t label : touched_) {
-      weight_[label] = 0;
-    }
-    touched_.clear();
-  }
-
-private:
-  std::vector<EdgeWeight> weight_;
-  std::vector<std::size_t> touched_;
-};
-
-} // namespace
 
 std::vector<NodeId> lp_clustering(const CsrGraph& graph,
                                   NodeWeight max_cluster_weight,
                                   const LabelPropagationConfig& config) {
-  const NodeId n = graph.num_nodes();
-  std::vector<NodeId> cluster(n);
-  std::iota(cluster.begin(), cluster.end(), NodeId{0});
-  std::vector<NodeWeight> cluster_weight(n);
-  for (NodeId u = 0; u < n; ++u) {
-    cluster_weight[u] = graph.node_weight(u);
-  }
-
-  std::vector<NodeId> order(n);
-  std::iota(order.begin(), order.end(), NodeId{0});
-  Rng rng(config.seed);
-  ConnectionGather gather(n);
-
-  for (int iteration = 0; iteration < config.max_iterations; ++iteration) {
-    rng.shuffle(order);
-    std::size_t moved = 0;
-    for (const NodeId u : order) {
-      const auto neigh = graph.neighbors(u);
-      if (neigh.empty()) {
-        continue;
-      }
-      const auto weights = graph.incident_weights(u);
-      for (std::size_t i = 0; i < neigh.size(); ++i) {
-        gather.add(cluster[neigh[i]], weights[i]);
-      }
-      const NodeId current = cluster[u];
-      NodeId best = current;
-      EdgeWeight best_connection = gather.get(current);
-      for (const std::size_t candidate : gather.touched()) {
-        const auto c = static_cast<NodeId>(candidate);
-        if (c == current) {
-          continue;
-        }
-        if (cluster_weight[c] + graph.node_weight(u) > max_cluster_weight) {
-          continue;
-        }
-        const EdgeWeight connection = gather.get(candidate);
-        if (connection > best_connection ||
-            (connection == best_connection && c < best)) {
-          best = c;
-          best_connection = connection;
-        }
-      }
-      gather.clear();
-      if (best != current) {
-        cluster_weight[current] -= graph.node_weight(u);
-        cluster_weight[best] += graph.node_weight(u);
-        cluster[u] = best;
-        ++moved;
-      }
-    }
-    if (moved == 0) {
-      break;
-    }
-  }
-
-  // Dense renumbering of surviving cluster ids.
-  std::vector<NodeId> remap(n, kInvalidNode);
-  NodeId next = 0;
-  for (NodeId u = 0; u < n; ++u) {
-    NodeId& slot = remap[cluster[u]];
-    if (slot == kInvalidNode) {
-      slot = next++;
-    }
-    cluster[u] = slot;
-  }
-  return cluster;
+  return lp_cluster_impl(graph, max_cluster_weight, config.max_iterations,
+                         config.seed);
 }
 
 std::size_t lp_refinement(const CsrGraph& graph, std::vector<BlockId>& partition,
@@ -140,31 +46,38 @@ std::size_t lp_refinement(const CsrGraph& graph, std::vector<BlockId>& partition
       }
       const auto current = static_cast<std::size_t>(partition[u]);
       const EdgeWeight internal = gather.get(current);
+      const NodeWeight u_weight = graph.node_weight(u);
       std::size_t best = current;
       EdgeWeight best_connection = internal;
+      // Post-move weight of the best option so far: staying leaves the
+      // current block at its full weight (u included); moving to a candidate
+      // puts u's weight there. Comparing both sides post-move makes the
+      // zero-gain tiebreak actually balance-improving — the old code
+      // compared the candidate *without* u against the current block *with*
+      // u, firing "towards a lighter block" on blocks that end up heavier.
       NodeWeight best_weight = block_weight[current];
       for (const std::size_t candidate : gather.touched()) {
         if (candidate == current) {
           continue;
         }
-        if (block_weight[candidate] + graph.node_weight(u) > max_block_weight) {
+        const NodeWeight candidate_weight = block_weight[candidate] + u_weight;
+        if (candidate_weight > max_block_weight) {
           continue;
         }
         const EdgeWeight connection = gather.get(candidate);
-        // Strict gain, or zero gain towards a lighter block (helps balance
-        // without hurting the cut).
+        // Strict gain, or zero gain towards a lighter (post-move) block
+        // (helps balance without hurting the cut).
         if (connection > best_connection ||
-            (connection == best_connection &&
-             block_weight[candidate] < best_weight)) {
+            (connection == best_connection && candidate_weight < best_weight)) {
           best = candidate;
           best_connection = connection;
-          best_weight = block_weight[candidate];
+          best_weight = candidate_weight;
         }
       }
       gather.clear();
       if (best != current) {
-        block_weight[current] -= graph.node_weight(u);
-        block_weight[best] += graph.node_weight(u);
+        block_weight[current] -= u_weight;
+        block_weight[best] += u_weight;
         partition[u] = static_cast<BlockId>(best);
         ++moved;
       }

@@ -1,78 +1,40 @@
 #include "oms/multilevel/multilevel_partitioner.hpp"
 
 #include <algorithm>
-#include <queue>
 
 #include "oms/multilevel/contraction.hpp"
+#include "oms/multilevel/inner_kernels.hpp"
 #include "oms/multilevel/label_propagation.hpp"
 #include "oms/partition/metrics.hpp"
 #include "oms/partition/partition_config.hpp"
 #include "oms/util/assert.hpp"
-#include "oms/util/random.hpp"
 
 namespace oms {
 
 std::vector<BlockId> bfs_band_partition(const CsrGraph& graph, BlockId k,
                                         NodeWeight max_block_weight,
                                         std::uint64_t seed) {
-  const NodeId n = graph.num_nodes();
-  std::vector<BlockId> partition(n, kInvalidBlock);
-  std::vector<bool> visited(n, false);
-  std::vector<NodeWeight> block_weight(static_cast<std::size_t>(k), 0);
-
-  Rng rng(seed);
-  BlockId current = 0;
-  const auto place = [&](NodeId u) {
-    // Advance to the next block with room; wrap once if needed.
-    for (BlockId probes = 0; probes < k; ++probes) {
-      const BlockId b = (current + probes) % k;
-      if (block_weight[static_cast<std::size_t>(b)] + graph.node_weight(u) <=
-          max_block_weight) {
-        current = b;
-        block_weight[static_cast<std::size_t>(b)] += graph.node_weight(u);
-        partition[u] = b;
-        return;
-      }
-    }
-    // All full (only possible with eps == 0 and awkward weights): lightest.
-    BlockId lightest = 0;
-    for (BlockId b = 1; b < k; ++b) {
-      if (block_weight[static_cast<std::size_t>(b)] <
-          block_weight[static_cast<std::size_t>(lightest)]) {
-        lightest = b;
-      }
-    }
-    block_weight[static_cast<std::size_t>(lightest)] += graph.node_weight(u);
-    partition[u] = lightest;
-  };
-
-  std::queue<NodeId> queue;
-  const auto start = static_cast<NodeId>(rng.next_below(n));
-  for (NodeId offset = 0; offset < n; ++offset) {
-    const NodeId root = (start + offset) % n;
-    if (visited[root]) {
-      continue;
-    }
-    visited[root] = true;
-    queue.push(root);
-    while (!queue.empty()) {
-      const NodeId u = queue.front();
-      queue.pop();
-      place(u);
-      for (const NodeId v : graph.neighbors(u)) {
-        if (!visited[v]) {
-          visited[v] = true;
-          queue.push(v);
-        }
-      }
-    }
-  }
-  return partition;
+  // No outside base weights: every block starts empty (the template's n == 0
+  // guard also covers the empty graph, which used to hit next_below(0) UB).
+  return bfs_band_impl(graph, k, max_block_weight, {}, seed);
 }
 
 MultilevelResult multilevel_partition(const CsrGraph& graph, BlockId k,
                                       const MultilevelConfig& config) {
   OMS_ASSERT(k >= 1);
+  if (graph.num_nodes() == 0) {
+    // Nothing to partition: coarsening, initial partitioning and refinement
+    // are all vacuous (and bfs_band on n == 0 must not roll the RNG).
+    MultilevelResult empty;
+    empty.peak_graph_bytes = graph.memory_footprint_bytes();
+    return empty;
+  }
+  if (k == 1) {
+    MultilevelResult trivial;
+    trivial.partition.assign(graph.num_nodes(), 0);
+    trivial.peak_graph_bytes = graph.memory_footprint_bytes();
+    return trivial;
+  }
   const NodeWeight lmax = max_block_weight(graph.total_node_weight(), k,
                                            config.epsilon);
 
@@ -90,10 +52,15 @@ MultilevelResult multilevel_partition(const CsrGraph& graph, BlockId k,
 
   LabelPropagationConfig lp;
   lp.seed = config.seed;
-  // Cluster weight cap: keep coarse nodes small enough that a balanced
-  // k-way partition of the coarsest graph remains feasible.
-  const NodeWeight max_cluster_weight =
-      std::max<NodeWeight>(1, graph.total_node_weight() / std::max<BlockId>(1, 4 * k));
+  // Cluster weight cap derived from the coarsening target: with cap W/target,
+  // clustering yields at least ~target clusters (unit weights), so it cannot
+  // overshoot the coarsest size the initial partitioner is tuned for — the
+  // overshoot guard below is then a genuine safety stop for weighted graphs,
+  // not the every-time exit the old W/(4k) cap made it. The cap also keeps
+  // coarse nodes small enough that a balanced k-way partition stays feasible
+  // (target >= coarsening_factor * k).
+  const NodeWeight max_cluster_weight = std::max<NodeWeight>(
+      1, graph.total_node_weight() / std::max<NodeId>(1, target));
 
   for (int level = 0; level < config.max_levels; ++level) {
     if (current->num_nodes() <= target) {
@@ -105,10 +72,12 @@ MultilevelResult multilevel_partition(const CsrGraph& graph, BlockId k,
     const NodeId num_clusters = *std::max_element(cluster.begin(), cluster.end()) + 1;
     if (num_clusters >= current->num_nodes() ||
         num_clusters < target / 2 + 1) {
-      // No progress, or overshooting the target: stop coarsening here.
-      if (num_clusters >= current->num_nodes()) {
-        break;
-      }
+      // No progress, or the clustering would overshoot the coarsening target
+      // by more than 2x: stop coarsening *before* contracting. (The old code
+      // only stopped in the no-progress case and contracted the overshooting
+      // clustering anyway, leaving a coarsest graph far below the size the
+      // initial partitioner was tuned for.)
+      break;
     }
     hierarchy.push_back(contract(*current, cluster));
     current = &hierarchy.back().coarse;

@@ -12,6 +12,11 @@
 ///    like the one-pass pipeline. Buffers are always committed in stream
 ///    order, so both drivers — and the in-memory buffered_partition() —
 ///    produce bit-identical partitions on the same file.
+///
+/// Both drivers honor config.engine: the default lp engine or the
+/// multilevel inner engine (contract / initial-partition / refine per
+/// buffer). The multilevel engine keys its per-buffer seed off the buffer
+/// index alone, so it too is deterministic across all three entry points.
 #pragma once
 
 #include <string>

@@ -1,0 +1,127 @@
+/// \file test_buffered_quality.cpp
+/// \brief Quality gate for the buffered core's inner engines over the
+///        benchmark suite: the multilevel engine must (a) not lose to the
+///        flat lp engine on edge cut for the vast majority of instances and
+///        (b) improve the mean cut, at a bounded slowdown — the measured
+///        claim behind `--buffered-engine=multilevel`. A separate case pins
+///        the same dominance for the mapping objective J when a hierarchy is
+///        configured.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "oms/benchlib/instances.hpp"
+#include "oms/buffered/buffered_partitioner.hpp"
+#include "oms/mapping/hierarchy.hpp"
+#include "oms/mapping/mapping_cost.hpp"
+#include "oms/partition/metrics.hpp"
+#include "oms/util/timer.hpp"
+
+namespace oms {
+namespace {
+
+constexpr BlockId kBlocks = 32;
+
+[[nodiscard]] BufferedConfig engine_config(BufferedEngine engine,
+                                           const SystemHierarchy* topo = nullptr) {
+  BufferedConfig config;
+  config.buffer_size = 2048;
+  config.engine = engine;
+  config.hierarchy = topo;
+  return config;
+}
+
+TEST(BufferedQuality, MultilevelDominatesLpOnEdgeCut) {
+  const auto suite = bench::benchmark_suite(bench::Scale::kSmall);
+  int wins = 0;
+  int losses = 0;
+  double cut_ratio_sum = 0.0;
+  double lp_seconds = 0.0;
+  double ml_seconds = 0.0;
+  for (const auto& spec : suite) {
+    const CsrGraph graph = spec.make();
+    Timer lp_timer;
+    const BufferedResult lp = buffered_partition(
+        graph, kBlocks, engine_config(BufferedEngine::kLp));
+    lp_seconds += lp_timer.elapsed_s();
+    Timer ml_timer;
+    const BufferedResult ml = buffered_partition(
+        graph, kBlocks, engine_config(BufferedEngine::kMultilevel));
+    ml_seconds += ml_timer.elapsed_s();
+
+    const Cost lp_cut = edge_cut(graph, lp.assignment);
+    const Cost ml_cut = edge_cut(graph, ml.assignment);
+    if (ml_cut <= lp_cut) {
+      ++wins;
+    } else {
+      ++losses;
+    }
+    cut_ratio_sum += lp_cut > 0 ? static_cast<double>(ml_cut) /
+                                      static_cast<double>(lp_cut)
+                                : 1.0;
+    std::printf("  %-24s lp=%lld ml=%lld (%.1f%%)\n", spec.name.c_str(),
+                static_cast<long long>(lp_cut), static_cast<long long>(ml_cut),
+                100.0 * static_cast<double>(ml_cut) /
+                    static_cast<double>(lp_cut > 0 ? lp_cut : 1));
+  }
+  const double mean_ratio = cut_ratio_sum / static_cast<double>(suite.size());
+  std::printf("  multilevel/lp mean cut ratio %.3f, wins %d/%zu, time %.2fx\n",
+              mean_ratio, wins, suite.size(),
+              lp_seconds > 0.0 ? ml_seconds / lp_seconds : 0.0);
+  // The ISSUE-6 acceptance bar: no worse on >= 8 of the ~10 instances and a
+  // strictly better mean cut.
+  EXPECT_GE(wins, static_cast<int>(suite.size()) - 2)
+      << "multilevel lost on " << losses << " instances";
+  EXPECT_LT(mean_ratio, 1.0);
+}
+
+TEST(BufferedQuality, HierarchyAwareCommitImprovesJ) {
+  // 4 cores x 4 processors x 2 nodes = 32 PEs; the paper's distance shape.
+  const SystemHierarchy topo = SystemHierarchy::parse("4:4:2", "1:10:100");
+  ASSERT_EQ(topo.num_pes(), kBlocks);
+  const auto suite = bench::benchmark_suite(bench::Scale::kSmall);
+  int blind_wins = 0; // J-aware lp beats J-blind lp
+  int ml_wins = 0;    // J-aware multilevel no worse than J-aware lp
+  double aware_ratio_sum = 0.0; // J(aware lp) / J(blind lp)
+  double ml_ratio_sum = 0.0;    // J(aware ml) / J(aware lp)
+  for (const auto& spec : suite) {
+    const CsrGraph graph = spec.make();
+    const BufferedResult blind = buffered_partition(
+        graph, kBlocks, engine_config(BufferedEngine::kLp));
+    const BufferedResult lp = buffered_partition(
+        graph, kBlocks, engine_config(BufferedEngine::kLp, &topo));
+    const BufferedResult ml = buffered_partition(
+        graph, kBlocks, engine_config(BufferedEngine::kMultilevel, &topo));
+    const Cost j_blind = mapping_cost(graph, topo, blind.assignment, 1);
+    const Cost j_lp = mapping_cost(graph, topo, lp.assignment, 1);
+    const Cost j_ml = mapping_cost(graph, topo, ml.assignment, 1);
+    blind_wins += j_lp <= j_blind ? 1 : 0;
+    ml_wins += j_ml <= j_lp ? 1 : 0;
+    aware_ratio_sum += j_blind > 0 ? static_cast<double>(j_lp) /
+                                         static_cast<double>(j_blind)
+                                   : 1.0;
+    ml_ratio_sum +=
+        j_lp > 0 ? static_cast<double>(j_ml) / static_cast<double>(j_lp) : 1.0;
+    std::printf("  %-24s J blind=%lld lp=%lld ml=%lld\n", spec.name.c_str(),
+                static_cast<long long>(j_blind), static_cast<long long>(j_lp),
+                static_cast<long long>(j_ml));
+  }
+  const auto size = static_cast<double>(suite.size());
+  const double aware_mean = aware_ratio_sum / size;
+  const double ml_mean = ml_ratio_sum / size;
+  std::printf("  J-aware/blind mean %.3f (wins %d/%zu); ml/lp mean %.3f "
+              "(wins %d/%zu)\n",
+              aware_mean, blind_wins, suite.size(), ml_mean, ml_wins,
+              suite.size());
+  // The acceptance claim is about the mean: distance-aware commits improve J
+  // in aggregate, and the multilevel engine extends the improvement. Win
+  // floors are loose — on weakly structured instances the objectives are
+  // near-ties either way.
+  EXPECT_LT(aware_mean, 1.0);
+  EXPECT_LT(ml_mean, 1.0);
+  EXPECT_GE(blind_wins, static_cast<int>(suite.size()) / 2);
+  EXPECT_GE(ml_wins, static_cast<int>(suite.size()) / 2);
+}
+
+} // namespace
+} // namespace oms

@@ -121,6 +121,28 @@ check_clean_error "zero window size" 2 \
 check_clean_error "buffer size beyond the node-id range" 2 \
   "$tool" "$tmpdir/good.graph" --k 2 --algo buffered --buffer-size 99999999999
 
+# --- Buffered inner-engine selection ----------------------------------------
+
+# Both engines are accepted on every buffered entry point; the multilevel
+# engine must work from disk and pipelined too.
+check_clean_error "buffered lp engine control" 0 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo buffered --buffered-engine lp
+check_clean_error "buffered multilevel engine control" 0 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo buffered --buffered-engine multilevel
+check_clean_error "buffered multilevel engine from-disk" 0 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo buffered --buffered-engine multilevel \
+  --from-disk
+check_clean_error "buffered multilevel engine pipelined" 0 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo buffered --buffered-engine multilevel \
+  --pipeline
+
+# Bad engine values and engine flags on non-buffered algorithms are usage
+# errors (exit 2).
+check_clean_error "unknown buffered engine" 2 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo buffered --buffered-engine turbo
+check_clean_error "engine flag with window algo" 2 \
+  "$tool" "$tmpdir/good.graph" --k 2 --algo window --buffered-engine multilevel
+
 # Node-weighted graphs cannot stream from disk (Lmax needs the total weight
 # upfront): rejected before any parsing with the usage-level exit code.
 printf '2 1 10\n5 2\n7 1\n' > "$tmpdir/weighted.graph"
@@ -167,6 +189,8 @@ check_clean_error "edgelist algo on metis input" 2 \
   "$tool" "$tmpdir/good.graph" --k 2 --algo hdrf
 check_clean_error "node algo on edgelist input" 2 \
   "$tool" "$tmpdir/good.edgelist" --k 2 --algo fennel
+check_clean_error "engine flag with edgelist algo" 2 \
+  "$tool" "$tmpdir/good.edgelist" --k 2 --algo dbh --buffered-engine lp
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures CLI error-channel check(s) failed"

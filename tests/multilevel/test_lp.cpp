@@ -83,6 +83,35 @@ TEST(LpRefinement, FixedPointOnOptimalBisection) {
   EXPECT_EQ(edge_cut(g, partition), 1);
 }
 
+TEST(LpRefinement, ZeroGainTiebreakComparesPostMoveWeights) {
+  // Node c is equally connected to its own block {a, c} and to {d}. Moving it
+  // would leave both blocks at weight 2 — no balance gain either — so the
+  // symmetric tiebreak must keep it put. The old code compared the raw
+  // pre-move weights (1 < 2) and churned c across for nothing.
+  GraphBuilder builder(3);
+  builder.add_edge(1, 0); // c - a
+  builder.add_edge(1, 2); // c - d
+  const CsrGraph g = std::move(builder).build();
+  std::vector<BlockId> partition = {0, 0, 1}; // a, c | d
+  const std::vector<BlockId> before = partition;
+  LabelPropagationConfig config;
+  const std::size_t moved = lp_refinement(g, partition, 2, /*max_block_weight=*/2, config);
+  EXPECT_EQ(moved, 0u);
+  EXPECT_EQ(partition, before);
+
+  // With an extra anchor in block 0 the move is a genuine balance win
+  // (post-move 2 < post-stay 3) and must happen.
+  GraphBuilder heavier(4);
+  heavier.add_edge(2, 0);  // c - a
+  heavier.add_edge(2, 3);  // c - d
+  heavier.add_edge(0, 1);  // a - b keeps a anchored afterwards
+  const CsrGraph g2 = std::move(heavier).build();
+  std::vector<BlockId> partition2 = {0, 0, 0, 1}; // a, b, c | d
+  lp_refinement(g2, partition2, 2, /*max_block_weight=*/3, config);
+  EXPECT_EQ(partition2[2], 1) << "zero-gain move towards the lighter block";
+  EXPECT_EQ(edge_cut(g2, partition2), 1);
+}
+
 TEST(Rebalance, EnforcesTheConstraint) {
   const CsrGraph g = gen::barabasi_albert(1000, 3, 8);
   // Everything in block 0: grossly unbalanced.

@@ -78,6 +78,44 @@ TEST(MultilevelPartitioner, HandlesDisconnectedGraphs) {
   EXPECT_TRUE(is_balanced(g, r.partition, 4, 0.03));
 }
 
+TEST(BfsBandPartition, EmptyGraphDoesNotRollTheRng) {
+  // n == 0 used to reach Rng::next_below(0) — UB. Must return cleanly.
+  const CsrGraph empty = std::move(GraphBuilder(0)).build();
+  const auto partition = bfs_band_partition(empty, 4, 10, 1);
+  EXPECT_TRUE(partition.empty());
+}
+
+TEST(MultilevelPartitioner, EmptyGraph) {
+  const CsrGraph empty = std::move(GraphBuilder(0)).build();
+  const MultilevelResult r = multilevel_partition(empty, 8, MultilevelConfig{});
+  EXPECT_TRUE(r.partition.empty());
+  EXPECT_EQ(r.levels_used, 0);
+}
+
+TEST(MultilevelPartitioner, OvershootGuardStopsBeforeContracting) {
+  // One huge node inflates the cluster weight cap (W / target) far above the
+  // clique size, so a single clustering round collapses the 60 cliques to
+  // ~61 clusters — overshooting the 256-node coarsening target by more than
+  // 2x. The (previously dead) guard must refuse to contract that clustering:
+  // levels_used stays 0. The old code contracted anyway and handed the
+  // initial partitioner a coarsest graph ~4x smaller than it is tuned for.
+  GraphBuilder builder(601);
+  for (NodeId clique = 0; clique < 60; ++clique) {
+    const NodeId base = clique * 10;
+    for (NodeId u = 0; u < 10; ++u) {
+      for (NodeId v = u + 1; v < 10; ++v) {
+        builder.add_edge(base + u, base + v);
+      }
+    }
+  }
+  builder.set_node_weight(600, 100000);
+  const CsrGraph g = std::move(builder).build();
+  MultilevelConfig config;
+  const MultilevelResult r = multilevel_partition(g, 2, config);
+  EXPECT_EQ(r.levels_used, 0);
+  verify_partition(g, r.partition, 2);
+}
+
 TEST(MultilevelPartitioner, KOneDegenerate) {
   const CsrGraph g = testing::cycle_graph(50);
   MultilevelConfig config;
