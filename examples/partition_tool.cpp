@@ -14,7 +14,10 @@
 ///                  [--buffered-engine lp|multilevel]
 ///                  [--window-size 1024]
 ///                  [--output partition.txt] [--from-disk]
-///                  [--pipeline] [--io-threads 1]
+///                  [--pipeline] [--io-threads 1] [--watchdog-ms 0]
+///                  [--checkpoint ckpt.bin] [--checkpoint-every 65536]
+///                  [--resume ckpt.bin]
+///                  [--on-error abort|skip] [--error-budget 100]
 ///
 /// METIS inputs are partitioned by node (edge-cut / process-mapping
 /// objectives); edge-list inputs are partitioned by *vertex-cut* (hdrf, dbh,
@@ -33,6 +36,13 @@
 /// them (1, the default, keeps the sequential stream order bit-for-bit;
 /// window, buffered and vertex-cut assignment are inherently sequential, so
 /// there the pipeline overlaps parsing only).
+///
+/// Fault tolerance: --checkpoint snapshots the run every --checkpoint-every
+/// streamed nodes (one-pass algorithms and buffered; sequential disk
+/// streaming only) and --resume continues a killed run bit-identically.
+/// --on-error=skip tolerates up to --error-budget malformed data lines
+/// instead of aborting on the first one. OMS_FAULTS / OMS_FAULT_SEED arm the
+/// deterministic fault-injection schedule (test harness).
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -57,9 +67,12 @@
 #include "oms/partition/ldg.hpp"
 #include "oms/partition/metrics.hpp"
 #include "oms/stream/buffered_stream_driver.hpp"
+#include "oms/stream/checkpoint.hpp"
+#include "oms/stream/error_policy.hpp"
 #include "oms/stream/metis_stream.hpp"
 #include "oms/stream/pipeline.hpp"
 #include "oms/stream/window_partitioner.hpp"
+#include "oms/util/fault_injection.hpp"
 #include "oms/util/io_error.hpp"
 #include "oms/util/memory.hpp"
 #include "oms/util/timer.hpp"
@@ -85,6 +98,12 @@ struct Options {
   bool from_disk = false;
   bool pipeline = false;
   int io_threads = 1;
+  std::uint64_t watchdog_ms = 0;      ///< pipeline queue watchdog; 0 = off
+  std::string checkpoint;             ///< snapshot path; empty = disabled
+  std::uint64_t checkpoint_every = 65536; ///< snapshot cadence (streamed nodes)
+  std::string resume;                 ///< checkpoint to resume from
+  std::string on_error = "abort";     ///< abort | skip (malformed data lines)
+  std::uint64_t error_budget = 100;   ///< max skipped lines under --on-error skip
 };
 
 [[noreturn]] void usage(int exit_code = 2) {
@@ -102,7 +121,10 @@ struct Options {
          "[--window-size N]\n"
          "                      [--buffered-engine lp|multilevel]\n"
          "                      [--output FILE] [--from-disk]\n"
-         "                      [--pipeline] [--io-threads T]\n";
+         "                      [--pipeline] [--io-threads T] [--watchdog-ms MS]\n"
+         "                      [--checkpoint FILE] [--checkpoint-every N]\n"
+         "                      [--resume FILE]\n"
+         "                      [--on-error abort|skip] [--error-budget N]\n";
   std::exit(exit_code);
 }
 
@@ -213,6 +235,23 @@ Options parse_args(int argc, char** argv) {
       opt.from_disk = true;
     } else if (arg == "--io-threads") {
       opt.io_threads = int_value();
+    } else if (arg == "--watchdog-ms") {
+      opt.watchdog_ms = u64_value();
+    } else if (arg == "--checkpoint") {
+      opt.checkpoint = value();
+    } else if (arg == "--checkpoint-every") {
+      opt.checkpoint_every = u64_value();
+    } else if (arg == "--resume") {
+      opt.resume = value();
+    } else if (arg == "--on-error") {
+      opt.on_error = value();
+      if (opt.on_error != "abort" && opt.on_error != "skip") {
+        std::cerr << "error: --on-error must be 'abort' or 'skip' (got '"
+                  << opt.on_error << "')\n";
+        usage();
+      }
+    } else if (arg == "--error-budget") {
+      opt.error_budget = u64_value();
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -287,6 +326,10 @@ int run_edge_tool(const Options& opt,
 int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
   try {
+    // Deterministic fault injection for the chaos harness: OMS_FAULTS (an
+    // explicit site@n schedule) or OMS_FAULT_SEED (a seeded random plan).
+    // Unset in production, this arms nothing and every hook stays a no-op.
+    oms::FaultPlan::arm_from_env();
     return run_tool(opt);
   } catch (const oms::IoError& e) {
     // Malformed graph *content* (bad header, out-of-range neighbor, missing
@@ -334,6 +377,43 @@ int run_tool(Options opt) {
   }
   if (opt.buffered_engine.has_value() && opt.algo != "buffered") {
     std::cerr << "error: --buffered-engine requires --algo buffered\n";
+    return 2;
+  }
+  // Checkpoint/resume gating: the checkpointing drivers are the sequential
+  // disk streamers for the one-pass algorithms and the buffered model.
+  const bool checkpointing = !opt.checkpoint.empty() || !opt.resume.empty();
+  if (checkpointing) {
+    if (edge_list) {
+      std::cerr << "error: --checkpoint/--resume support METIS node streams "
+                   "only (not edge lists)\n";
+      return 2;
+    }
+    if (opt.pipeline) {
+      std::cerr << "error: --checkpoint/--resume are incompatible with "
+                   "--pipeline (the checkpointing driver is sequential)\n";
+      return 2;
+    }
+    if (opt.algo == "window") {
+      std::cerr << "error: --algo window does not support "
+                   "--checkpoint/--resume (window state is not "
+                   "checkpointable)\n";
+      return 2;
+    }
+    if (opt.checkpoint_every < 1) {
+      std::cerr << "error: --checkpoint-every must be >= 1\n";
+      return 2;
+    }
+    opt.from_disk = true; // checkpoints reference a byte offset in the file
+  }
+  const bool skip_errors = opt.on_error == "skip";
+  if (skip_errors && !edge_list && !opt.from_disk) {
+    std::cerr << "error: --on-error skip applies to streaming runs; add "
+                 "--from-disk (or use an edge-list input)\n";
+    return 2;
+  }
+  if (skip_errors && opt.algo == "buffered") {
+    std::cerr << "error: --on-error skip is not supported with --algo "
+                 "buffered\n";
     return 2;
   }
   if (!std::isfinite(opt.epsilon) || opt.epsilon < 0.0) {
@@ -417,14 +497,50 @@ int run_tool(Options opt) {
                    "has node weights (load it without --from-disk)\n";
       return 2;
     }
+    // Resume validation happens up front, against the header of the *actual*
+    // input: a checkpoint from a different algorithm, k, seed or graph is a
+    // usage error (exit 2), not a mid-stream IoError (exit 1).
+    const std::string ckpt_algo =
+        opt.algo == "buffered"
+            ? std::string(buffered_checkpoint_algo_id(buffered_config(opt, topo)))
+            : opt.algo;
+    std::optional<CheckpointState> resume_state;
+    if (!opt.resume.empty()) {
+      try {
+        resume_state = read_checkpoint_file(opt.resume);
+        validate_resume(resume_state->meta, ckpt_algo,
+                        static_cast<std::uint64_t>(opt.k), opt.seed,
+                        header.num_nodes);
+      } catch (const IoError& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+      }
+    }
+    const CheckpointState* resume_ptr =
+        resume_state.has_value() ? &*resume_state : nullptr;
+    CheckpointConfig ckpt;
+    ckpt.path = opt.checkpoint;
+    ckpt.every_nodes = opt.checkpoint_every;
+
+    StreamErrorPolicy error_policy;
+    error_policy.action = skip_errors ? StreamErrorPolicy::Action::kSkip
+                                      : StreamErrorPolicy::Action::kAbort;
+    error_policy.skip_budget = opt.error_budget;
+    StreamErrorStats skip_stats;
+
     if (opt.algo == "buffered") {
       // The buffered model has its own driver: whole buffers are modeled and
       // refined jointly, with the pipeline parsing the next buffers ahead.
       BufferedResult br;
       if (opt.pipeline) {
+        PipelineConfig pipeline;
+        pipeline.watchdog_ms = opt.watchdog_ms;
         br = buffered_partition_from_file(opt.graph_path, opt.k,
-                                          buffered_config(opt, topo),
-                                          PipelineConfig{});
+                                          buffered_config(opt, topo), pipeline);
+      } else if (checkpointing) {
+        br = buffered_partition_from_file_resumable(opt.graph_path, opt.k,
+                                                    buffered_config(opt, topo),
+                                                    ckpt, resume_ptr);
       } else {
         br = buffered_partition_from_file(opt.graph_path, opt.k,
                                           buffered_config(opt, topo));
@@ -437,10 +553,25 @@ int run_tool(Options opt) {
       if (opt.pipeline) {
         PipelineConfig pipeline;
         pipeline.assign_threads = opt.io_threads;
+        pipeline.watchdog_ms = opt.watchdog_ms;
+        pipeline.error_policy = error_policy;
+        pipeline.error_stats_out = &skip_stats;
         result = run_one_pass_from_file(opt.graph_path, *assigner, pipeline);
       } else {
-        result = run_one_pass_from_file(opt.graph_path, *assigner);
+        // The sequential disk path is the checkpointing driver; with no
+        // --checkpoint/--resume it degenerates to the plain one-pass loop.
+        MetisNodeStream stream(opt.graph_path, MetisNodeStream::kDefaultBufferBytes);
+        stream.set_error_policy(error_policy);
+        result = run_one_pass_resumable(stream, *assigner, ckpt_algo, opt.seed,
+                                        ckpt, resume_ptr);
+        skip_stats = stream.error_stats();
       }
+    }
+    if (skip_stats.lines_skipped > 0) {
+      std::cerr << "note: skipped " << skip_stats.lines_skipped
+                << " malformed line(s) (--on-error skip); first at line "
+                << skip_stats.first_line << ": " << skip_stats.first_message
+                << "\n";
     }
     std::cout << "streamed " << header.num_nodes << " nodes from disk"
               << (opt.pipeline ? " (pipelined)" : "") << " (peak RSS "
@@ -538,13 +669,29 @@ int run_edge_tool(const Options& opt,
     partitioner = std::make_unique<Grid2dPartitioner>(config);
   }
 
+  StreamErrorPolicy error_policy;
+  error_policy.action = opt.on_error == "skip" ? StreamErrorPolicy::Action::kSkip
+                                               : StreamErrorPolicy::Action::kAbort;
+  error_policy.skip_budget = opt.error_budget;
+  StreamErrorStats skip_stats;
+
   Timer total;
   EdgePartitionResult result;
   if (opt.pipeline) {
     PipelineConfig pipeline;
+    pipeline.watchdog_ms = opt.watchdog_ms;
+    pipeline.error_policy = error_policy;
+    pipeline.error_stats_out = &skip_stats;
     result = run_edge_partition_from_file(opt.graph_path, *partitioner, pipeline);
   } else {
-    result = run_edge_partition_from_file(opt.graph_path, *partitioner);
+    result = run_edge_partition_from_file(opt.graph_path, *partitioner,
+                                          error_policy, &skip_stats);
+  }
+  if (skip_stats.lines_skipped > 0) {
+    std::cerr << "note: skipped " << skip_stats.lines_skipped
+              << " malformed line(s) (--on-error skip); first at line "
+              << skip_stats.first_line << ": " << skip_stats.first_message
+              << "\n";
   }
 
   std::cout << "streamed " << result.stats.num_edges << " edges over "

@@ -5,7 +5,9 @@
 
 #include "oms/mapping/hierarchy.hpp"
 #include "oms/multilevel/buffer_multilevel.hpp"
+#include "oms/stream/checkpoint.hpp"
 #include "oms/util/assert.hpp"
+#include "oms/util/io_error.hpp"
 #include "oms/util/timer.hpp"
 
 namespace oms {
@@ -529,6 +531,41 @@ void BufferedPartitioner::process_graph_range(const CsrGraph& graph, NodeId begi
 
 std::vector<BlockId> BufferedPartitioner::take_assignment() {
   return std::move(assignment_);
+}
+
+void BufferedPartitioner::save_stream_state(CheckpointWriter& w) const {
+  save_assignment(w, assignment_);
+  w.put_u64(block_weight_.size());
+  for (const NodeWeight bw : block_weight_) {
+    w.put_i64(bw);
+  }
+  w.put_u64(buffers_processed_);
+  if (ml_ != nullptr) {
+    const auto [streak, skip] = ml_->backoff_state();
+    w.put_i64(streak);
+    w.put_u64(skip);
+  } else {
+    w.put_i64(0);
+    w.put_u64(0);
+  }
+}
+
+void BufferedPartitioner::load_stream_state(CheckpointReader& r) {
+  load_assignment(r, assignment_);
+  if (r.get_u64() != block_weight_.size()) {
+    throw IoError("checkpoint: block weight count mismatch");
+  }
+  // Through set_block_weight so the cached penalties resync exactly as the
+  // uninterrupted run computed them.
+  for (BlockId b = 0; b < k_; ++b) {
+    set_block_weight(b, r.get_i64());
+  }
+  buffers_processed_ = r.get_u64();
+  const std::int64_t streak = r.get_i64();
+  const std::uint64_t skip = r.get_u64();
+  if (ml_ != nullptr) {
+    ml_->restore_backoff(streak, skip);
+  }
 }
 
 BufferedResult buffered_partition(const CsrGraph& graph, BlockId k,

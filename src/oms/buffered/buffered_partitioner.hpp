@@ -37,6 +37,8 @@
 namespace oms {
 
 class BufferMultilevel;
+class CheckpointReader;
+class CheckpointWriter;
 class SystemHierarchy;
 
 /// Inner optimization engine run on each buffer-local model.
@@ -111,6 +113,14 @@ public:
 
   /// Release the final assignment (the partitioner is done afterwards).
   [[nodiscard]] std::vector<BlockId> take_assignment();
+
+  /// Checkpoint/resume at a buffer boundary (stream/checkpoint.hpp): the
+  /// cross-buffer state is the assignment prefix, the block weights (the
+  /// cached penalties are recomputed on load), buffers_processed_ (the
+  /// multilevel engine's per-buffer RNG salt) and the engine's adaptive
+  /// backoff. Everything else is per-buffer arena scratch.
+  void save_stream_state(CheckpointWriter& w) const;
+  void load_stream_state(CheckpointReader& r);
 
 private:
   /// One fused pass per buffer node: walk the raw adjacency exactly once,

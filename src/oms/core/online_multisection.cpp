@@ -1,5 +1,7 @@
 #include "oms/core/online_multisection.hpp"
 
+#include "oms/stream/checkpoint.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -279,6 +281,18 @@ std::uint64_t OnlineMultisection::state_bytes() const noexcept {
   return assignment_.footprint_bytes() + weights_.footprint_bytes() +
          static_cast<std::uint64_t>(tree_.num_blocks() *
                                     sizeof(MultisectionTree::Block));
+}
+
+bool OnlineMultisection::save_stream_state(CheckpointWriter& w) const {
+  save_assignment(w, assignment_);
+  save_block_weights(w, weights_);
+  return true;
+}
+
+bool OnlineMultisection::load_stream_state(CheckpointReader& r) {
+  load_assignment(r, assignment_);
+  load_block_weights(r, weights_);
+  return true;
 }
 
 } // namespace oms

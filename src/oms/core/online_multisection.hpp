@@ -69,6 +69,11 @@ public:
   /// from every block on its root-to-leaf path so it can be re-placed.
   void unassign(NodeId u, NodeWeight weight);
 
+  // Checkpoint/resume: assignment + per-tree-block weights; the tree and the
+  // descent are deterministic functions of the config.
+  [[nodiscard]] bool save_stream_state(CheckpointWriter& w) const override;
+  [[nodiscard]] bool load_stream_state(CheckpointReader& r) override;
+
   /// The paper's *offline* recursive multi-section: height() successive
   /// passes over the graph, one tree layer per pass. Section 3.1 argues the
   /// online algorithm "produces exactly the same result as the version with

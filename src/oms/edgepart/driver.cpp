@@ -18,8 +18,10 @@ EdgeStreamStats stats_of(const EdgeListStream& stream) {
 } // namespace
 
 EdgePartitionResult run_edge_partition_from_file(
-    const std::string& path, StreamingEdgePartitioner& partitioner) {
+    const std::string& path, StreamingEdgePartitioner& partitioner,
+    const StreamErrorPolicy& error_policy, StreamErrorStats* error_stats_out) {
   EdgeListStream stream(path);
+  stream.set_error_policy(error_policy);
   EdgePartitionResult result;
   Timer timer;
   StreamedEdge edge;
@@ -28,6 +30,9 @@ EdgePartitionResult run_edge_partition_from_file(
   }
   result.elapsed_s = timer.elapsed_s();
   result.stats = stats_of(stream);
+  if (error_stats_out != nullptr) {
+    *error_stats_out = stream.error_stats();
+  }
   result.edge_assignment = partitioner.take_edge_assignment();
   return result;
 }
@@ -36,6 +41,7 @@ EdgePartitionResult run_edge_partition_from_file(
     const std::string& path, StreamingEdgePartitioner& partitioner,
     const PipelineConfig& config) {
   EdgeListStream stream(path, config.reader_buffer_bytes);
+  stream.set_error_policy(config.error_policy);
   EdgePartitionResult result;
   Timer timer;
   run_batched_pipeline<EdgeBatch>(
@@ -48,11 +54,15 @@ EdgePartitionResult run_edge_partition_from_file(
         for (std::size_t i = 0; i < count; ++i) {
           partitioner.assign(batch.edge(i));
         }
-      });
+      },
+      config.watchdog_ms);
   result.elapsed_s = timer.elapsed_s();
   // The producer thread has joined inside run_batched_pipeline, so reading
   // the stream counters here is race-free.
   result.stats = stats_of(stream);
+  if (config.error_stats_out != nullptr) {
+    *config.error_stats_out = stream.error_stats();
+  }
   result.edge_assignment = partitioner.take_edge_assignment();
   return result;
 }

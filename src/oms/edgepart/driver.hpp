@@ -37,9 +37,13 @@ struct EdgePartitionResult {
 };
 
 /// Stream the edge-list file through \p partitioner (sequential; disk order
-/// is the edge order).
+/// is the edge order). \p error_policy is the malformed-line policy
+/// (--on-error); \p error_stats_out, when non-null, receives the skip
+/// accounting at the end of the pass.
 [[nodiscard]] EdgePartitionResult run_edge_partition_from_file(
-    const std::string& path, StreamingEdgePartitioner& partitioner);
+    const std::string& path, StreamingEdgePartitioner& partitioner,
+    const StreamErrorPolicy& error_policy = {},
+    StreamErrorStats* error_stats_out = nullptr);
 
 /// Same decisions, pipelined: a producer thread parses EdgeBatches while the
 /// calling thread assigns (PipelineConfig::assign_threads is ignored — see

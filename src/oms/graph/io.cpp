@@ -10,10 +10,19 @@
 
 #include "oms/graph/graph_builder.hpp"
 #include "oms/util/assert.hpp"
+#include "oms/util/crc32.hpp"
 #include "oms/util/io_error.hpp"
 
 namespace oms {
 namespace {
+
+/// Binary graph cache, version 2: v1 plus a trailing CRC-32 over every
+/// preceding byte and a strict (==, not >=) length check, so truncation,
+/// appended garbage and bit flips all surface as IoError instead of a
+/// silently wrong graph. v1 files ("OMSGRAP1") are refused with a message
+/// telling the user to regenerate — caches are cheap, silent risk is not.
+constexpr std::uint64_t kBinaryMagicV1 = 0x4f4d5347'52415031ULL; // "OMSGRAP1"
+constexpr std::uint64_t kBinaryMagicV2 = 0x4f4d5347'52415032ULL; // "OMSGRAP2"
 
 /// Input defects (malformed bytes, truncation, unopenable paths) raise
 /// IoError with the file position so CLIs fail cleanly; OMS_ASSERT remains
@@ -249,10 +258,12 @@ CsrGraph read_metis(const std::string& path) {
 void write_binary(const CsrGraph& graph, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   OMS_ASSERT_MSG(out.good(), "cannot open file for writing");
-  const std::uint64_t magic = 0x4f4d5347'52415031ULL; // "OMSGRAP1"
+  const std::uint64_t magic = kBinaryMagicV2;
   const std::uint64_t n = graph.num_nodes();
   const std::uint64_t arcs = graph.num_arcs();
-  const auto write_raw = [&out](const void* data, std::size_t bytes) {
+  std::uint32_t crc = crc32_init();
+  const auto write_raw = [&out, &crc](const void* data, std::size_t bytes) {
+    crc = crc32_update(crc, data, bytes);
     out.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
   };
   write_raw(&magic, sizeof magic);
@@ -262,6 +273,8 @@ void write_binary(const CsrGraph& graph, const std::string& path) {
   write_raw(graph.raw_adjncy().data(), graph.raw_adjncy().size() * sizeof(NodeId));
   write_raw(graph.raw_adjwgt().data(), graph.raw_adjwgt().size() * sizeof(EdgeWeight));
   write_raw(graph.raw_vwgt().data(), graph.raw_vwgt().size() * sizeof(NodeWeight));
+  const std::uint32_t checksum = crc32_final(crc);
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
   OMS_ASSERT_MSG(out.good(), "write failure");
 }
 
@@ -273,14 +286,21 @@ CsrGraph read_binary(const std::string& path) {
   std::uint64_t magic = 0;
   std::uint64_t n = 0;
   std::uint64_t arcs = 0;
-  const auto read_raw = [&in, &path](void* data, std::size_t bytes) {
+  std::uint32_t crc = crc32_init();
+  const auto read_raw = [&in, &path, &crc](void* data, std::size_t bytes) {
     in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
     if (!in.good()) {
       io_fail(path, 0, "truncated binary graph file");
     }
+    crc = crc32_update(crc, data, bytes);
   };
   read_raw(&magic, sizeof magic);
-  if (magic != 0x4f4d5347'52415031ULL) {
+  if (magic == kBinaryMagicV1) {
+    io_fail(path, 0,
+            "binary graph file uses the unchecksummed v1 format; regenerate "
+            "it with write_binary()");
+  }
+  if (magic != kBinaryMagicV2) {
     io_fail(path, 0, "bad magic in binary graph file");
   }
   read_raw(&n, sizeof n);
@@ -298,9 +318,18 @@ CsrGraph read_binary(const std::string& path) {
   const std::uint64_t expected_bytes =
       (n + 1) * sizeof(EdgeIndex) + arcs * sizeof(NodeId) +
       arcs * sizeof(EdgeWeight) + n * sizeof(NodeWeight);
+  // Strict equality: payload + trailing CRC and nothing else. A too-long
+  // file means the header does not describe this payload (e.g. concatenated
+  // or half-overwritten caches), which the CRC alone could even pass if the
+  // extra bytes were never read.
   if (n > static_cast<std::uint64_t>(std::numeric_limits<NodeId>::max()) ||
-      static_cast<std::uint64_t>(file_end - payload_start) < expected_bytes) {
+      static_cast<std::uint64_t>(file_end - payload_start) <
+          expected_bytes + sizeof(std::uint32_t)) {
     io_fail(path, 0, "truncated binary graph file");
+  }
+  if (static_cast<std::uint64_t>(file_end - payload_start) >
+      expected_bytes + sizeof(std::uint32_t)) {
+    io_fail(path, 0, "binary graph file longer than its header describes");
   }
   std::vector<EdgeIndex> xadj(n + 1);
   std::vector<NodeId> adjncy(arcs);
@@ -310,6 +339,12 @@ CsrGraph read_binary(const std::string& path) {
   read_raw(adjncy.data(), adjncy.size() * sizeof(NodeId));
   read_raw(adjwgt.data(), adjwgt.size() * sizeof(EdgeWeight));
   read_raw(vwgt.data(), vwgt.size() * sizeof(NodeWeight));
+  const std::uint32_t computed = crc32_final(crc);
+  std::uint32_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof stored);
+  if (!in.good() || stored != computed) {
+    io_fail(path, 0, "CRC mismatch in binary graph file (corrupt bytes)");
+  }
   return CsrGraph(std::move(xadj), std::move(adjncy), std::move(adjwgt),
                   std::move(vwgt));
 }

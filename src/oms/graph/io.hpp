@@ -23,8 +23,11 @@ void write_metis(const CsrGraph& graph, const std::string& path);
 [[nodiscard]] CsrGraph read_metis(const std::string& path);
 
 /// Compact binary round-trip (little-endian host assumed; this is a cache
-/// format, not an interchange format). read_binary throws oms::IoError on
-/// unopenable paths, bad magic, implausible sizes, and truncation.
+/// format, not an interchange format). Version 2 ("OMSGRAP2") appends a
+/// CRC-32 over the whole file and the length must match the header exactly.
+/// read_binary throws oms::IoError on unopenable paths, bad magic (including
+/// unchecksummed v1 files, which must be regenerated), implausible sizes,
+/// truncation, trailing garbage, and CRC mismatch.
 void write_binary(const CsrGraph& graph, const std::string& path);
 [[nodiscard]] CsrGraph read_binary(const std::string& path);
 

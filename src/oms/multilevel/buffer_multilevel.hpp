@@ -84,6 +84,17 @@ public:
                std::span<NodeWeight> block_weight, NodeWeight lmax,
                const std::int64_t* dist, std::uint64_t salt);
 
+  /// Checkpoint support: the adaptive backoff counters are the engine's only
+  /// cross-buffer state (everything else is a per-buffer arena); restoring
+  /// them makes a resumed stream decide identically to an uninterrupted one.
+  [[nodiscard]] std::pair<std::int64_t, std::uint64_t> backoff_state() const noexcept {
+    return {fail_streak_, skip_until_};
+  }
+  void restore_backoff(std::int64_t fail_streak, std::uint64_t skip_until) noexcept {
+    fail_streak_ = static_cast<int>(fail_streak);
+    skip_until_ = skip_until;
+  }
+
 private:
   /// One coarse level's graph + coarsened affinity lists (arena, reused).
   struct Level {

@@ -1,5 +1,7 @@
 #include "oms/partition/fennel.hpp"
 
+#include "oms/stream/checkpoint.hpp"
+
 #include <cstdint>
 
 #include "oms/partition/sparse_select.hpp"
@@ -136,6 +138,18 @@ void FennelPartitioner::unassign(NodeId u, NodeWeight weight) {
 std::uint64_t FennelPartitioner::state_bytes() const noexcept {
   return assignment_.footprint_bytes() +
          static_cast<std::uint64_t>(weights_.size() * sizeof(NodeWeight));
+}
+
+bool FennelPartitioner::save_stream_state(CheckpointWriter& w) const {
+  save_assignment(w, assignment_);
+  save_block_weights(w, weights_);
+  return true;
+}
+
+bool FennelPartitioner::load_stream_state(CheckpointReader& r) {
+  load_assignment(r, assignment_);
+  load_block_weights(r, weights_);
+  return true;
 }
 
 } // namespace oms

@@ -43,6 +43,11 @@ public:
   /// later assign() can re-place it with fresh scores.
   void unassign(NodeId u, NodeWeight weight);
 
+  // Checkpoint/resume: assignment + block weights; alpha/gamma/caches are
+  // config-derived and rebuilt by the constructor.
+  [[nodiscard]] bool save_stream_state(CheckpointWriter& w) const override;
+  [[nodiscard]] bool load_stream_state(CheckpointReader& r) override;
+
 private:
   struct Scratch {
     std::vector<EdgeWeight> neighbor_weight;

@@ -1,5 +1,7 @@
 #include "oms/partition/hashing.hpp"
 
+#include "oms/stream/checkpoint.hpp"
+
 #include "oms/util/random.hpp"
 
 namespace oms {
@@ -48,6 +50,18 @@ BlockId HashingPartitioner::assign(const StreamedNode& node, int /*thread_id*/,
 std::uint64_t HashingPartitioner::state_bytes() const noexcept {
   return static_cast<std::uint64_t>(assignment_.capacity() * sizeof(BlockId) +
                                     weights_.size() * sizeof(NodeWeight));
+}
+
+bool HashingPartitioner::save_stream_state(CheckpointWriter& w) const {
+  save_assignment(w, assignment_);
+  save_block_weights(w, weights_);
+  return true;
+}
+
+bool HashingPartitioner::load_stream_state(CheckpointReader& r) {
+  load_assignment(r, assignment_);
+  load_block_weights(r, weights_);
+  return true;
 }
 
 } // namespace oms

@@ -35,6 +35,11 @@ public:
   /// State footprint for the memory experiment: assignment + block weights.
   [[nodiscard]] std::uint64_t state_bytes() const noexcept;
 
+  // Checkpoint/resume: assignment + block weights are the whole cross-node
+  // state (the hash itself is stateless in the seed).
+  [[nodiscard]] bool save_stream_state(CheckpointWriter& w) const override;
+  [[nodiscard]] bool load_stream_state(CheckpointReader& r) override;
+
 private:
   PartitionConfig config_;
   NodeWeight max_block_weight_;

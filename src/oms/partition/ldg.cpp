@@ -1,5 +1,7 @@
 #include "oms/partition/ldg.hpp"
 
+#include "oms/stream/checkpoint.hpp"
+
 namespace oms {
 
 LdgPartitioner::LdgPartitioner(NodeId num_nodes, NodeWeight total_node_weight,
@@ -88,6 +90,18 @@ BlockId LdgPartitioner::assign(const StreamedNode& node, int thread_id,
 std::uint64_t LdgPartitioner::state_bytes() const noexcept {
   return assignment_.footprint_bytes() +
          static_cast<std::uint64_t>(weights_.size() * sizeof(NodeWeight));
+}
+
+bool LdgPartitioner::save_stream_state(CheckpointWriter& w) const {
+  save_assignment(w, assignment_);
+  save_block_weights(w, weights_);
+  return true;
+}
+
+bool LdgPartitioner::load_stream_state(CheckpointReader& r) {
+  load_assignment(r, assignment_);
+  load_block_weights(r, weights_);
+  return true;
 }
 
 } // namespace oms

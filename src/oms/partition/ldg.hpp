@@ -31,6 +31,10 @@ public:
 
   [[nodiscard]] std::uint64_t state_bytes() const noexcept;
 
+  // Checkpoint/resume: assignment + block weights (scratch is per-node).
+  [[nodiscard]] bool save_stream_state(CheckpointWriter& w) const override;
+  [[nodiscard]] bool load_stream_state(CheckpointReader& r) override;
+
 private:
   struct Scratch {
     std::vector<EdgeWeight> neighbor_weight; // size k, reset via touched list

@@ -1,8 +1,11 @@
 #include "oms/stream/buffered_stream_driver.hpp"
 
+#include <limits>
+
 #include "oms/stream/metis_stream.hpp"
 #include "oms/stream/node_batch.hpp"
 #include "oms/stream/pipeline_core.hpp"
+#include "oms/util/fault_injection.hpp"
 #include "oms/util/io_error.hpp"
 #include "oms/util/timer.hpp"
 
@@ -64,7 +67,66 @@ BufferedResult buffered_partition_from_file(const std::string& path, BlockId k,
       },
       [&](const NodeBatch& batch, int /*thread_id*/) {
         core.process_buffer(batch);
-      });
+      },
+      pipeline.watchdog_ms);
+  return finish(std::move(core), timer);
+}
+
+BufferedResult buffered_partition_from_file_resumable(
+    const std::string& path, BlockId k, const BufferedConfig& config,
+    const CheckpointConfig& checkpoint, const CheckpointState* resume) {
+  MetisNodeStream stream(path);
+  require_unit_weights(path, stream.header());
+
+  Timer timer;
+  BufferedPartitioner core(stream.header().num_nodes,
+                           static_cast<NodeWeight>(stream.header().num_nodes), k,
+                           config);
+  std::uint64_t streamed = 0;
+  if (resume != nullptr) {
+    CheckpointReader r(resume->payload);
+    core.load_stream_state(r);
+    r.expect_end();
+    streamed = resume->meta.nodes_streamed;
+    stream.resume_at(resume->meta.input_offset, resume->meta.input_line_no,
+                     static_cast<NodeId>(streamed));
+  }
+
+  constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+  const std::uint64_t every =
+      checkpoint.path.empty() || checkpoint.every_nodes == 0 ? kNever
+                                                             : checkpoint.every_nodes;
+  std::uint64_t next_snapshot =
+      every == kNever ? kNever : (streamed / every + 1) * every;
+
+  NodeBatch batch;
+  while (stream.fill_batch(batch, config.buffer_size) > 0) {
+    core.process_buffer(batch);
+    streamed += batch.size();
+    if (streamed >= next_snapshot) {
+      CheckpointMeta meta;
+      meta.algo = buffered_checkpoint_algo_id(config);
+      meta.k = static_cast<std::uint64_t>(k);
+      meta.seed = config.seed;
+      meta.num_nodes = stream.header().num_nodes;
+      meta.nodes_streamed = streamed;
+      meta.input_offset = stream.next_offset();
+      meta.input_line_no = stream.line_no();
+      CheckpointWriter w;
+      core.save_stream_state(w);
+      write_checkpoint_file(checkpoint.path, meta, w.bytes());
+      // Deterministic stand-in for kill -9 right after a durable snapshot.
+      if (fault_fires(FaultSite::kCheckpointDie)) {
+        throw IoError("injected crash after checkpoint at node " +
+                      std::to_string(streamed));
+      }
+      // One buffer can cross several cadence points; snapshot once per
+      // boundary, then catch the schedule up.
+      while (next_snapshot <= streamed) {
+        next_snapshot += every;
+      }
+    }
+  }
   return finish(std::move(core), timer);
 }
 

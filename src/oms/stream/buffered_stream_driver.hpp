@@ -22,9 +22,18 @@
 #include <string>
 
 #include "oms/buffered/buffered_partitioner.hpp"
+#include "oms/stream/checkpoint.hpp"
 #include "oms/stream/pipeline.hpp"
 
 namespace oms {
+
+/// Algorithm id stamped into buffered checkpoints; resume validation refuses
+/// a checkpoint written by the other inner engine.
+[[nodiscard]] inline const char* buffered_checkpoint_algo_id(
+    const BufferedConfig& config) noexcept {
+  return config.engine == BufferedEngine::kMultilevel ? "buffered:multilevel"
+                                                      : "buffered:lp";
+}
 
 /// Stream \p path buffer by buffer through the buffered partitioner.
 /// Requires unit node weights (the balance bound Lmax must be known before
@@ -41,5 +50,15 @@ namespace oms {
 [[nodiscard]] BufferedResult buffered_partition_from_file(
     const std::string& path, BlockId k, const BufferedConfig& config,
     const PipelineConfig& pipeline);
+
+/// Sequential buffered streaming with periodic checkpoints and optional
+/// resume. Snapshots land at buffer boundaries — the first boundary at or
+/// past each multiple of \p checkpoint.every_nodes — so resuming re-enters
+/// the stream exactly between two process_buffer() calls; the result is
+/// bit-identical to the uninterrupted drivers. \p resume must already have
+/// passed validate_resume against buffered_checkpoint_algo_id(config).
+[[nodiscard]] BufferedResult buffered_partition_from_file_resumable(
+    const std::string& path, BlockId k, const BufferedConfig& config,
+    const CheckpointConfig& checkpoint, const CheckpointState* resume);
 
 } // namespace oms

@@ -16,54 +16,75 @@ EdgeListStream::EdgeListStream(const std::string& path, std::size_t buffer_bytes
     : reader_(path, buffer_bytes) {}
 
 void EdgeListStream::fail(const std::string& message) const {
-  throw IoError(reader_.path() + ":" + std::to_string(reader_.line_no()) + ": " +
-                message);
+  // ContentError so the skip policy can catch malformed lines; plain IoError
+  // catches (I/O failures, CLI error channel) still see it unchanged.
+  throw ContentError(reader_.path() + ":" + std::to_string(reader_.line_no()) +
+                     ": " + message);
+}
+
+bool EdgeListStream::parse_edge_line(std::string_view line, StreamedEdge& out) {
+  const auto bad_token = [this] { fail("malformed integer token in edge line"); };
+  IntScanner tokens(line);
+  std::int64_t u = 0;
+  std::int64_t v = 0;
+  if (!tokens.next(u, bad_token)) {
+    return false; // whitespace-only line
+  }
+  if (!tokens.next(v, bad_token)) {
+    fail("truncated edge line (one endpoint)");
+  }
+  if (u < 0 || u > kMaxEndpoint || v < 0 || v > kMaxEndpoint) {
+    fail("endpoint id out of range [0, " + std::to_string(kMaxEndpoint) + "]");
+  }
+  std::int64_t w = 1;
+  if (tokens.next(w, bad_token)) {
+    if (w < 1) {
+      fail("non-positive edge weight " + std::to_string(w));
+    }
+    std::int64_t junk = 0;
+    if (tokens.next(junk, bad_token)) {
+      fail("trailing tokens in edge line");
+    }
+  }
+  if (u == v) {
+    ++self_loops_skipped_;
+    return false;
+  }
+  out.u = static_cast<NodeId>(u);
+  out.v = static_cast<NodeId>(v);
+  out.weight = w;
+  if (out.u > max_vertex_id_) {
+    max_vertex_id_ = out.u;
+  }
+  if (out.v > max_vertex_id_) {
+    max_vertex_id_ = out.v;
+  }
+  ++edges_delivered_;
+  return true;
 }
 
 bool EdgeListStream::parse_next(StreamedEdge& out) {
-  const auto bad_token = [this] { fail("malformed integer token in edge line"); };
   std::string_view line;
   while (reader_.next_line(line)) {
     if (line.empty() || line.front() == '#') {
       continue;
     }
-    IntScanner tokens(line);
-    std::int64_t u = 0;
-    std::int64_t v = 0;
-    if (!tokens.next(u, bad_token)) {
-      continue; // whitespace-only line
-    }
-    if (!tokens.next(v, bad_token)) {
-      fail("truncated edge line (one endpoint)");
-    }
-    if (u < 0 || u > kMaxEndpoint || v < 0 || v > kMaxEndpoint) {
-      fail("endpoint id out of range [0, " + std::to_string(kMaxEndpoint) + "]");
-    }
-    std::int64_t w = 1;
-    if (tokens.next(w, bad_token)) {
-      if (w < 1) {
-        fail("non-positive edge weight " + std::to_string(w));
+    try {
+      if (parse_edge_line(line, out)) {
+        return true;
       }
-      std::int64_t junk = 0;
-      if (tokens.next(junk, bad_token)) {
-        fail("trailing tokens in edge line");
+    } catch (const ContentError& error) {
+      if (error_policy_.action != StreamErrorPolicy::Action::kSkip) {
+        throw;
       }
+      error_stats_.record(reader_.line_no(), error.what());
+      if (error_stats_.lines_skipped > error_policy_.skip_budget) {
+        throw IoError(reader_.path() + ": malformed-line skip budget (" +
+                      std::to_string(error_policy_.skip_budget) +
+                      ") exhausted; last: " + error.what());
+      }
+      // A skipped edge-list line simply contributes no edge.
     }
-    if (u == v) {
-      ++self_loops_skipped_;
-      continue;
-    }
-    out.u = static_cast<NodeId>(u);
-    out.v = static_cast<NodeId>(v);
-    out.weight = w;
-    if (out.u > max_vertex_id_) {
-      max_vertex_id_ = out.u;
-    }
-    if (out.v > max_vertex_id_) {
-      max_vertex_id_ = out.v;
-    }
-    ++edges_delivered_;
-    return true;
   }
   // First end-of-file: a stream that produced nothing is a malformed input
   // (a typo'd path full of comments should not silently "partition" zero

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "oms/stream/error_policy.hpp"
 #include "oms/stream/line_reader.hpp"
 #include "oms/types.hpp"
 #include "oms/util/assert.hpp"
@@ -91,9 +92,22 @@ public:
   /// Largest endpoint id seen so far (0 before any edge).
   [[nodiscard]] NodeId max_vertex_id() const noexcept { return max_vertex_id_; }
 
+  /// Malformed-line policy (--on-error): under kSkip a malformed data line
+  /// contributes no edge, up to the budget. Set before streaming.
+  void set_error_policy(const StreamErrorPolicy& policy) noexcept {
+    error_policy_ = policy;
+  }
+  [[nodiscard]] const StreamErrorStats& error_stats() const noexcept {
+    return error_stats_;
+  }
+
 private:
-  /// False at end of file; skips comments and self-loops internally.
+  /// False at end of file; skips comments and self-loops internally and
+  /// applies the error policy per data line.
   bool parse_next(StreamedEdge& out);
+  /// Parse one non-comment line; true when \p out holds a new edge, false
+  /// for whitespace-only lines and self-loops. Throws ContentError.
+  bool parse_edge_line(std::string_view line, StreamedEdge& out);
   [[noreturn]] void fail(const std::string& message) const;
 
   BufferedLineReader reader_;
@@ -101,6 +115,8 @@ private:
   EdgeIndex self_loops_skipped_ = 0;
   NodeId max_vertex_id_ = 0;
   bool exhausted_ = false;
+  StreamErrorPolicy error_policy_;
+  StreamErrorStats error_stats_;
 };
 
 } // namespace oms

@@ -1,0 +1,47 @@
+/// \file error_policy.hpp
+/// \brief Malformed-line policy for the streaming parsers (--on-error).
+///
+/// Long disk-streaming runs die today on the first malformed data line. For
+/// exploratory runs over scraped or partially damaged inputs, the parsers
+/// can instead *skip* such lines under a bounded budget: a skipped METIS
+/// line becomes an isolated unit-weight node (the id slot is still consumed,
+/// keeping every later id aligned), a skipped edge-list line contributes no
+/// edge. Only content defects (oms::ContentError — bad tokens, out-of-range
+/// ids) are skippable; I/O failures and header errors always abort. The
+/// budget guards against "skipping" a file that simply is not the expected
+/// format: once exhausted, the run aborts with a clean IoError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace oms {
+
+/// What to do when a *data* line fails to parse.
+struct StreamErrorPolicy {
+  enum class Action : std::uint8_t {
+    kAbort, ///< rethrow the ContentError (the default, and the old behavior)
+    kSkip,  ///< drop the line, record it, continue — until the budget runs out
+  };
+
+  Action action = Action::kAbort;
+  /// Max lines skipped before the run aborts anyway.
+  std::uint64_t skip_budget = 100;
+};
+
+/// End-of-run accounting of skipped lines, surfaced by the CLI as a summary.
+struct StreamErrorStats {
+  std::uint64_t lines_skipped = 0;
+  std::uint64_t first_line = 0; ///< 1-based line number of the first skip
+  std::string first_message;    ///< parser message of the first skip
+
+  void record(std::uint64_t line, const char* message) {
+    if (lines_skipped == 0) {
+      first_line = line;
+      first_message = message;
+    }
+    ++lines_skipped;
+  }
+};
+
+} // namespace oms

@@ -5,18 +5,24 @@
 /// One reusable chunk buffer, lines located with memchr, integers parsed in
 /// place — no per-line getline, no per-line string copies. Malformed
 /// *content* is the caller's concern; this layer only raises oms::IoError
-/// for I/O-level failures (unopenable file, read error).
+/// for I/O-level failures (unopenable file, read error). Transient read
+/// failures (EINTR/EAGAIN, or an injected FaultSite::kReadTransient) are
+/// retried with exponential backoff before giving up.
 #pragma once
 
+#include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "oms/util/fault_injection.hpp"
 #include "oms/util/io_error.hpp"
 
 namespace oms {
@@ -170,15 +176,69 @@ private:
     if (end_ == buffer_.size()) {
       buffer_.resize(buffer_.size() * 2); // line longer than the buffer: grow
     }
-    const std::size_t got =
-        std::fread(buffer_.data() + end_, 1, buffer_.size() - end_, file_.get());
+    const std::size_t got = read_with_retry(buffer_.size() - end_);
     if (got == 0) {
-      if (std::ferror(file_.get()) != 0) {
-        throw IoError(path_ + ":" + std::to_string(line_no_) + ": read error");
-      }
       eof_ = true;
+      return;
+    }
+    if (fault_fires(FaultSite::kReadCorrupt)) {
+      corrupt_chunk(got);
     }
     end_ += got;
+  }
+
+  /// One fread of up to \p want bytes into buffer_[end_..], retrying transient
+  /// failures (EINTR/EAGAIN from a flaky mount or signal, or an injected
+  /// kReadTransient) with exponential backoff. Hard errors — anything that
+  /// persists past kMaxReadRetries, or a non-transient errno — throw IoError.
+  [[nodiscard]] std::size_t read_with_retry(std::size_t want) {
+    static constexpr int kMaxReadRetries = 4;
+    for (int attempt = 0;; ++attempt) {
+      bool failed;
+      bool transient;
+      // Injected failures are decided *before* the fread: a simulated failure
+      // after a successful read would advance the file position and silently
+      // drop the bytes it returned.
+      if (fault_fires(FaultSite::kReadError)) {
+        failed = true;
+        transient = false;
+      } else if (fault_fires(FaultSite::kReadTransient)) {
+        failed = true;
+        transient = true;
+      } else {
+        // kReadShort: deliver a 1-byte read. Not a failure — the caller must
+        // make progress on arbitrarily short reads without losing bytes.
+        const std::size_t ask = fault_fires(FaultSite::kReadShort) ? 1 : want;
+        errno = 0;
+        const std::size_t got =
+            std::fread(buffer_.data() + end_, 1, ask, file_.get());
+        failed = got == 0 && std::ferror(file_.get()) != 0;
+        transient = failed && (errno == EINTR || errno == EAGAIN);
+        if (!failed) {
+          return got;
+        }
+        std::clearerr(file_.get());
+      }
+      if (!transient || attempt >= kMaxReadRetries) {
+        throw IoError(path_ + ":" + std::to_string(line_no_) + ": read error" +
+                      (transient ? " (transient, retries exhausted)" : ""));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1LL << attempt));
+    }
+  }
+
+  /// kReadCorrupt payload: flip the last non-newline byte of the fresh chunk
+  /// to 'x'. Deliberately never a '\n' — merging two lines could yield bytes
+  /// that still parse, i.e. a *silent* corruption, whereas the contract under
+  /// test is "corruption surfaces as a content error or a changed result,
+  /// never a hang or crash".
+  void corrupt_chunk(std::size_t got) {
+    for (std::size_t i = end_ + got; i > end_; --i) {
+      if (buffer_[i - 1] != '\n') {
+        buffer_[i - 1] = 'x';
+        return;
+      }
+    }
   }
 
   std::unique_ptr<std::FILE, FileCloser> file_;

@@ -13,8 +13,11 @@ MetisNodeStream::MetisNodeStream(const std::string& path, std::size_t buffer_byt
 }
 
 void MetisNodeStream::fail(const std::string& message) const {
-  throw IoError(reader_.path() + ":" + std::to_string(reader_.line_no()) + ": " +
-                message);
+  // ContentError (an IoError subclass) so the skip policy can distinguish a
+  // malformed line from I/O machinery failures; every existing catch of
+  // IoError still sees it.
+  throw ContentError(reader_.path() + ":" + std::to_string(reader_.line_no()) +
+                     ": " + message);
 }
 
 void MetisNodeStream::read_header() {
@@ -64,20 +67,9 @@ void MetisNodeStream::read_header() {
   header_line_no_ = reader_.line_no();
 }
 
-bool MetisNodeStream::parse_next(NodeWeight& weight, std::vector<NodeId>& neighbors,
-                                 std::vector<EdgeWeight>& edge_weights) {
-  if (next_id_ >= header_.num_nodes) {
-    return false;
-  }
-  // Comment lines are skipped; an empty line — or a missing trailing line —
-  // is an isolated node.
-  std::string_view line;
-  while (reader_.next_line(line)) {
-    if (line.empty() || line.front() != '%') {
-      break;
-    }
-    line = std::string_view();
-  }
+void MetisNodeStream::parse_data_line(std::string_view line, NodeWeight& weight,
+                                      std::vector<NodeId>& neighbors,
+                                      std::vector<EdgeWeight>& edge_weights) {
   weight = 1;
   IntScanner tokens(line);
   const auto bad_token = [this] { fail("malformed integer token"); };
@@ -100,6 +92,43 @@ bool MetisNodeStream::parse_next(NodeWeight& weight, std::vector<NodeId>& neighb
       w = wt;
     }
     edge_weights.push_back(w);
+  }
+}
+
+bool MetisNodeStream::parse_next(NodeWeight& weight, std::vector<NodeId>& neighbors,
+                                 std::vector<EdgeWeight>& edge_weights) {
+  if (next_id_ >= header_.num_nodes) {
+    return false;
+  }
+  // Comment lines are skipped; an empty line — or a missing trailing line —
+  // is an isolated node.
+  std::string_view line;
+  while (reader_.next_line(line)) {
+    if (line.empty() || line.front() != '%') {
+      break;
+    }
+    line = std::string_view();
+  }
+  const std::size_t neighbors_mark = neighbors.size();
+  const std::size_t weights_mark = edge_weights.size();
+  try {
+    parse_data_line(line, weight, neighbors, edge_weights);
+  } catch (const ContentError& error) {
+    if (error_policy_.action != StreamErrorPolicy::Action::kSkip) {
+      throw;
+    }
+    error_stats_.record(reader_.line_no(), error.what());
+    if (error_stats_.lines_skipped > error_policy_.skip_budget) {
+      throw IoError(reader_.path() + ": malformed-line skip budget (" +
+                    std::to_string(error_policy_.skip_budget) +
+                    ") exhausted; last: " + error.what());
+    }
+    // Roll back the partial appends and deliver the line as an isolated
+    // unit-weight node: the id slot is still consumed, so every later node
+    // keeps the id it would have had in a clean file.
+    neighbors.resize(neighbors_mark);
+    edge_weights.resize(weights_mark);
+    weight = 1;
   }
   ++next_id_;
   return true;
@@ -134,6 +163,15 @@ std::size_t MetisNodeStream::fill_batch(NodeBatch& batch, std::size_t max_nodes,
 void MetisNodeStream::rewind() {
   reader_.seek(data_start_, header_line_no_);
   next_id_ = 0;
+}
+
+void MetisNodeStream::resume_at(std::uint64_t offset, std::uint64_t line_no,
+                                NodeId next_id) {
+  if (offset < data_start_ || next_id > header_.num_nodes) {
+    fail("resume position lies outside the data section");
+  }
+  reader_.seek(offset, line_no);
+  next_id_ = next_id;
 }
 
 StreamResult run_one_pass_from_file(const std::string& path,

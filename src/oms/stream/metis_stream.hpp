@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "oms/stream/error_policy.hpp"
 #include "oms/stream/line_reader.hpp"
 #include "oms/stream/node_batch.hpp"
 #include "oms/stream/one_pass_driver.hpp"
@@ -68,12 +69,47 @@ public:
   /// Rewind to the first node (used by restreaming).
   void rewind();
 
+  // --- checkpoint/resume support (stream/checkpoint.hpp) -----------------
+
+  /// File offset of the first byte next()/fill_batch() has not consumed yet.
+  [[nodiscard]] std::uint64_t next_offset() const noexcept {
+    return reader_.next_offset();
+  }
+  /// 1-based number of the line most recently parsed.
+  [[nodiscard]] std::uint64_t line_no() const noexcept { return reader_.line_no(); }
+  /// Nodes fully delivered so far (the id the next node will get).
+  [[nodiscard]] NodeId nodes_delivered() const noexcept { return next_id_; }
+
+  /// Jump to a recorded (offset, line_no) position and continue delivering
+  /// nodes from id \p next_id — the stream-side half of a checkpoint resume.
+  /// The position must have been captured at a node boundary on the same
+  /// file (checkpoints validate that via header count + CRC).
+  void resume_at(std::uint64_t offset, std::uint64_t line_no, NodeId next_id);
+
+  // --- malformed-line policy (--on-error) --------------------------------
+
+  /// Set before streaming data lines. Under kSkip a malformed data line is
+  /// delivered as an isolated unit-weight node (ids stay aligned) up to the
+  /// budget; header errors and I/O failures always abort.
+  void set_error_policy(const StreamErrorPolicy& policy) noexcept {
+    error_policy_ = policy;
+  }
+  [[nodiscard]] const StreamErrorStats& error_stats() const noexcept {
+    return error_stats_;
+  }
+
 private:
   void read_header();
   /// Parse the next data line, appending the adjacency into the given sinks.
-  /// False when all header().num_nodes nodes have been delivered.
+  /// False when all header().num_nodes nodes have been delivered. Applies
+  /// the error policy: under kSkip a malformed line rolls back its partial
+  /// appends and degrades to an isolated node.
   bool parse_next(NodeWeight& weight, std::vector<NodeId>& neighbors,
                   std::vector<EdgeWeight>& edge_weights);
+  /// The raw token loop over one data line (throws ContentError via fail()).
+  void parse_data_line(std::string_view line, NodeWeight& weight,
+                       std::vector<NodeId>& neighbors,
+                       std::vector<EdgeWeight>& edge_weights);
   [[noreturn]] void fail(const std::string& message) const;
 
   BufferedLineReader reader_;
@@ -84,6 +120,8 @@ private:
   NodeId next_id_ = 0;
   std::vector<NodeId> neighbor_buffer_;
   std::vector<EdgeWeight> weight_buffer_;
+  StreamErrorPolicy error_policy_;
+  StreamErrorStats error_stats_;
 };
 
 /// Stream the file through \p assigner (sequential; disk order is the node

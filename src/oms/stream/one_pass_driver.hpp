@@ -17,6 +17,9 @@
 
 namespace oms {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 /// Interface implemented by Hashing, LDG, Fennel and the online recursive
 /// multi-section. One instance handles one pass over one graph.
 class OnePassAssigner {
@@ -40,6 +43,19 @@ public:
 
   /// Release the final assignment vector (assigner is done afterwards).
   [[nodiscard]] virtual std::vector<BlockId> take_assignment() = 0;
+
+  /// Checkpoint support (stream/checkpoint.hpp): serialize / restore every
+  /// piece of state that is not derivable from the construction config, so a
+  /// resumed pass continues bit-identically. Both default to "unsupported"
+  /// (return false); the resumable driver turns that into a clean IoError.
+  /// load_stream_state is called after prepare() on a freshly constructed
+  /// assigner with identical config.
+  [[nodiscard]] virtual bool save_stream_state(CheckpointWriter& /*writer*/) const {
+    return false;
+  }
+  [[nodiscard]] virtual bool load_stream_state(CheckpointReader& /*reader*/) {
+    return false;
+  }
 };
 
 /// Result of a streaming pass.

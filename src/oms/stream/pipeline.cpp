@@ -14,6 +14,7 @@ StreamResult run_one_pass_from_file(const std::string& path,
                                     const PipelineConfig& config) {
   const int consumers = resolve_threads(config.assign_threads);
   MetisNodeStream stream(path, config.reader_buffer_bytes);
+  stream.set_error_policy(config.error_policy);
   assigner.prepare(consumers);
 
   StreamResult result;
@@ -35,9 +36,13 @@ StreamResult run_one_pass_from_file(const std::string& path,
           assigner.assign(batch.node(i), thread_id, local);
         }
         counters[static_cast<std::size_t>(thread_id)] += local;
-      });
+      },
+      config.watchdog_ms);
   for (const WorkCounters& c : counters) {
     result.work += c;
+  }
+  if (config.error_stats_out != nullptr) {
+    *config.error_stats_out = stream.error_stats();
   }
 
   result.elapsed_s = timer.elapsed_s();

@@ -52,6 +52,18 @@ struct PipelineConfig {
 
   /// Raw read chunk of the underlying MetisNodeStream.
   std::size_t reader_buffer_bytes = MetisNodeStream::kDefaultBufferBytes;
+
+  /// Watchdog on every pipeline queue wait, in milliseconds; 0 disables. A
+  /// timeout means a peer thread died without closing its queue and surfaces
+  /// as oms::IoError instead of a hang.
+  std::uint64_t watchdog_ms = 0;
+
+  /// Malformed-line policy applied to the underlying stream (--on-error).
+  StreamErrorPolicy error_policy;
+
+  /// When non-null, receives the end-of-run skip accounting (only meaningful
+  /// under StreamErrorPolicy::Action::kSkip). Not owned.
+  StreamErrorStats* error_stats_out = nullptr;
 };
 
 /// Stream \p path through \p assigner with parse/assign overlap. Total

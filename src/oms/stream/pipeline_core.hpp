@@ -8,14 +8,25 @@
 /// protocol instead of re-deriving it: two bounded queues close the loop,
 /// ring_batches bounds the parse-ahead (backpressure on both sides), and
 /// after warm-up no allocation happens on either path.
+///
+/// Failure hardening (PR 7): an optional watchdog bounds every queue wait so
+/// a dead peer thread surfaces as IoError instead of a hang; a consumer
+/// error aborts (close + discard) both queues so siblings and the producer
+/// stop at their next queue operation; and when the producer thread cannot
+/// be spawned at all the pipeline degrades to a sequential fill/consume loop
+/// on the calling thread — same results, no parallelism.
 #pragma once
 
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <mutex>
+#include <system_error>
 #include <thread>
 #include <vector>
 
+#include "oms/util/fault_injection.hpp"
+#include "oms/util/io_error.hpp"
 #include "oms/util/parallel.hpp"
 
 namespace oms {
@@ -31,6 +42,9 @@ namespace oms {
 ///                     count; 0 means the stream is exhausted.
 /// \param consume      invoked on consumer threads: consume(batch,
 ///                     thread_id) processes one batch.
+/// \param watchdog_ms  bound on any single queue wait; 0 (default) disables.
+///                     A timeout means a peer thread died without closing
+///                     its queue and is reported as IoError.
 ///
 /// An exception thrown by \p fill wakes the consumers (they drain what was
 /// parsed, then stop) and is rethrown here after all threads joined; an
@@ -38,10 +52,14 @@ namespace oms {
 /// way. Fill errors take precedence, matching "the parse failed first".
 template <typename Batch, typename Fill, typename Consume>
 void run_batched_pipeline(std::size_t ring_batches, int consumers, Fill&& fill,
-                          Consume&& consume) {
+                          Consume&& consume, std::uint64_t watchdog_ms = 0) {
   using BatchPtr = std::unique_ptr<Batch>;
   BoundedQueue<BatchPtr> free_q(ring_batches);
   BoundedQueue<BatchPtr> filled_q(ring_batches);
+  if (watchdog_ms != 0) {
+    free_q.set_watchdog(std::chrono::milliseconds(watchdog_ms));
+    filled_q.set_watchdog(std::chrono::milliseconds(watchdog_ms));
+  }
   for (std::size_t i = 0; i < ring_batches; ++i) {
     (void)free_q.push(std::make_unique<Batch>());
   }
@@ -50,10 +68,11 @@ void run_batched_pipeline(std::size_t ring_batches, int consumers, Fill&& fill,
   std::exception_ptr fill_error;
   std::exception_ptr consume_error;
 
-  std::thread producer([&] {
+  const auto producer_loop = [&] {
     try {
       BatchPtr batch;
       while (free_q.pop(batch)) {
+        fault_sleep(FaultSite::kFillDelay);
         if (fill(*batch) == 0) {
           break; // stream exhausted
         }
@@ -68,12 +87,41 @@ void run_batched_pipeline(std::size_t ring_batches, int consumers, Fill&& fill,
     // Wakes the consumers; they drain what was parsed, then stop. An IoError
     // therefore surfaces on the caller, never as a deadlocked pipeline.
     filled_q.close();
-  });
+  };
+
+  // Graceful degradation: if the OS refuses the producer thread (or the
+  // injected thread.spawn fault simulates that), run the whole stream
+  // sequentially on the calling thread. Identical results, no parallelism —
+  // strictly better than failing a multi-hour run over a transient
+  // resource limit.
+  std::thread producer;
+  if (!fault_fires(FaultSite::kThreadSpawn)) {
+    try {
+      producer = std::thread(producer_loop);
+    } catch (const std::system_error&) {
+    }
+  }
+  if (!producer.joinable()) {
+    Batch batch;
+    while (true) {
+      fault_sleep(FaultSite::kFillDelay);
+      if (fill(batch) == 0) {
+        return;
+      }
+      if (fault_fires(FaultSite::kConsumeThrow)) {
+        throw IoError("injected consumer fault");
+      }
+      consume(batch, 0);
+    }
+  }
 
   const auto consume_loop = [&](int thread_id) {
     try {
       BatchPtr batch;
       while (filled_q.pop(batch)) {
+        if (fault_fires(FaultSite::kConsumeThrow)) {
+          throw IoError("injected consumer fault");
+        }
         consume(*batch, thread_id);
         if (!free_q.push(std::move(batch))) {
           break;
@@ -86,15 +134,28 @@ void run_batched_pipeline(std::size_t ring_batches, int consumers, Fill&& fill,
           consume_error = std::current_exception();
         }
       }
-      filled_q.close(); // stop sibling consumers
-      free_q.close();   // unblock the producer
+      // abort(), not close(): discard the parsed backlog so sibling
+      // consumers stop at their next pop instead of draining batches whose
+      // results will be thrown away, and the producer's push/pop unblock
+      // immediately. The first error recorded above is the one rethrown.
+      filled_q.abort();
+      free_q.abort();
     }
   };
 
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(consumers) - 1);
   for (int t = 1; t < consumers; ++t) {
-    workers.emplace_back(consume_loop, t);
+    // A failed worker spawn degrades to fewer consumers (the calling thread
+    // is always consumer 0); correctness never depends on the count.
+    if (fault_fires(FaultSite::kThreadSpawn)) {
+      break;
+    }
+    try {
+      workers.emplace_back(consume_loop, t);
+    } catch (const std::system_error&) {
+      break;
+    }
   }
   consume_loop(0);
   for (std::thread& w : workers) {

@@ -18,4 +18,15 @@ public:
   explicit IoError(const std::string& message) : std::runtime_error(message) {}
 };
 
+/// Subclass for *content* defects (a malformed line, an out-of-range id) as
+/// opposed to I/O machinery failures (read errors, watchdog timeouts,
+/// truncated checkpoints). The distinction powers the --on-error=skip policy:
+/// a ContentError on a data line can be skipped under a budget, while a plain
+/// IoError always aborts the run. Catching IoError still catches both, so
+/// every existing caller keeps its behavior.
+class ContentError : public IoError {
+public:
+  explicit ContentError(const std::string& message) : IoError(message) {}
+};
+
 } // namespace oms

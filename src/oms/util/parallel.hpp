@@ -5,6 +5,7 @@
 ///        between the disk-ingest producer and the assignment consumers.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -15,6 +16,8 @@
 #include <omp.h>
 
 #include "oms/util/assert.hpp"
+#include "oms/util/fault_injection.hpp"
+#include "oms/util/io_error.hpp"
 
 /// TSan cannot see the fork/join synchronization inside an uninstrumented
 /// OpenMP runtime (GCC's libgomp), so every parallel region would report
@@ -106,6 +109,16 @@ void parallel_chunks(std::size_t n, int num_threads, std::size_t chunk_size,
 /// closed and empty. This lets a failing side unblock the other without
 /// losing in-flight work, and is what the streaming pipeline relies on to
 /// surface an IoError raised mid-stream instead of deadlocking.
+///
+/// abort() is the error-path variant of close(): it additionally discards the
+/// buffered elements, so a consumer that failed mid-batch does not leave
+/// siblings chewing through stale work before they notice the shutdown.
+///
+/// A watchdog (set_watchdog) bounds every blocking wait: if the peer side is
+/// dead — a producer that crashed without closing, a consumer stuck in a
+/// syscall — the wait times out and throws IoError instead of deadlocking the
+/// process forever. Disabled (0) by default; the pipeline arms it from
+/// PipelineConfig.
 template <typename T>
 class BoundedQueue {
 public:
@@ -116,10 +129,20 @@ public:
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  /// Bound every subsequent blocking wait to \p timeout; 0 disables (plain
+  /// untimed waits). Call before the producer/consumer threads start.
+  void set_watchdog(std::chrono::milliseconds timeout) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    watchdog_ = timeout;
+  }
+
   /// Blocks while full; false (value untouched) if the queue is closed.
+  /// Throws IoError if the watchdog expires while waiting.
   [[nodiscard]] bool push(T&& value) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    wait_guarded(lock, not_full_,
+                 [this] { return items_.size() < capacity_ || closed_; },
+                 "push (consumers stalled?)");
     if (closed_) {
       return false;
     }
@@ -130,9 +153,13 @@ public:
   }
 
   /// Blocks while empty; false once the queue is closed *and* drained.
+  /// Throws IoError if the watchdog expires while waiting.
   [[nodiscard]] bool pop(T& out) {
+    fault_sleep(FaultSite::kQueueDelay);
     std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    wait_guarded(lock, not_empty_,
+                 [this] { return !items_.empty() || closed_; },
+                 "pop (producer stalled?)");
     if (items_.empty()) {
       return false;
     }
@@ -153,6 +180,19 @@ public:
     not_full_.notify_all();
   }
 
+  /// close() plus discard of all buffered elements: the error-path shutdown.
+  /// Every blocked push()/pop() returns false immediately (nothing left to
+  /// drain), so sibling workers stop at their next queue operation.
+  void abort() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      items_.clear();
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
   [[nodiscard]] bool closed() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return closed_;
@@ -166,11 +206,31 @@ public:
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
 private:
+  /// Wait for \p ready under \p lock, bounded by the watchdog when armed.
+  /// Spurious progress (any state change) rearms the timeout, so only a
+  /// genuinely dead peer trips it.
+  template <typename Pred>
+  void wait_guarded(std::unique_lock<std::mutex>& lock, std::condition_variable& cv,
+                    Pred ready, const char* what) {
+    if (watchdog_.count() == 0) {
+      cv.wait(lock, ready);
+      return;
+    }
+    if (!cv.wait_for(lock, watchdog_, ready)) {
+      closed_ = true;
+      items_.clear();
+      not_empty_.notify_all();
+      not_full_.notify_all();
+      throw IoError(std::string("BoundedQueue watchdog timeout in ") + what);
+    }
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
+  std::chrono::milliseconds watchdog_{0};
   bool closed_ = false;
 };
 

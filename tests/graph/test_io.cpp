@@ -247,12 +247,78 @@ TEST_F(IoTest, BinaryImplausibleHeaderSizesThrow) {
   const std::string path = temp_path("implausible.bin");
   {
     std::ofstream out(path, std::ios::binary);
-    const std::uint64_t magic = 0x4f4d5347'52415031ULL;
+    const std::uint64_t magic = 0x4f4d5347'52415032ULL; // current v2 magic
     const std::uint64_t n = 4;
     const std::uint64_t arcs = std::uint64_t{1} << 60;
     out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
     out.write(reinterpret_cast<const char*>(&n), sizeof n);
     out.write(reinterpret_cast<const char*>(&arcs), sizeof arcs);
+  }
+  EXPECT_THROW((void)read_binary(path), IoError);
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryRejectsUnchecksummedV1Files) {
+  // A v1-era cache (valid layout, old magic, no CRC) must be refused with a
+  // clear "regenerate" error, never silently parsed without validation.
+  const std::string path = temp_path("v1.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::uint64_t magic = 0x4f4d5347'52415031ULL; // "OMSGRAP1"
+    const std::uint64_t n = 1;
+    const std::uint64_t arcs = 0;
+    const EdgeIndex xadj[2] = {0, 0};
+    const NodeWeight vwgt[1] = {1};
+    out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+    out.write(reinterpret_cast<const char*>(&n), sizeof n);
+    out.write(reinterpret_cast<const char*>(&arcs), sizeof arcs);
+    out.write(reinterpret_cast<const char*>(xadj), sizeof xadj);
+    out.write(reinterpret_cast<const char*>(vwgt), sizeof vwgt);
+  }
+  try {
+    (void)read_binary(path);
+    FAIL() << "v1 file accepted";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("v1"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinarySingleFlippedByteThrows) {
+  // Flip one byte at a time across the whole file (header, every payload
+  // array, the checksum itself): the CRC must catch each flip. This is the
+  // defect class the strict length check alone cannot see.
+  const CsrGraph original = gen::barabasi_albert(60, 2, 4);
+  const std::string full = temp_path("crc_full.bin");
+  write_binary(original, full);
+  std::ifstream in(full, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  const std::string path = temp_path("crc_flip.bin");
+  // Every 37th byte keeps the sweep fast while still hitting each section.
+  for (std::size_t at = 0; at < bytes.size(); at += 37) {
+    std::vector<char> corrupt = bytes;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x40);
+    {
+      std::ofstream out(path, std::ios::binary);
+      out.write(corrupt.data(), static_cast<std::streamsize>(corrupt.size()));
+    }
+    EXPECT_THROW((void)read_binary(path), IoError) << "flipped byte " << at;
+  }
+  std::remove(full.c_str());
+  std::remove(path.c_str());
+}
+
+TEST_F(IoTest, BinaryTrailingGarbageThrows) {
+  // Appended bytes (concatenated caches, partial overwrite of a longer file)
+  // fail the strict length check even though the checksummed prefix is fine.
+  const CsrGraph original = gen::barabasi_albert(60, 2, 4);
+  const std::string path = temp_path("trailing.bin");
+  write_binary(original, path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "junk";
   }
   EXPECT_THROW((void)read_binary(path), IoError);
   std::remove(path.c_str());
