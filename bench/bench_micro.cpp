@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <string>
 
+#include "oms/api/partitioner.hpp"
 #include "oms/buffered/buffered_partitioner.hpp"
 #include "oms/core/multisection_tree.hpp"
 #include "oms/core/online_multisection.hpp"
@@ -21,6 +22,8 @@
 #include "oms/partition/fennel.hpp"
 #include "oms/partition/hashing.hpp"
 #include "oms/partition/ldg.hpp"
+#include "oms/service/protocol.hpp"
+#include "oms/service/service.hpp"
 #include "oms/stream/metis_stream.hpp"
 #include "oms/stream/one_pass_driver.hpp"
 #include "oms/stream/pipeline.hpp"
@@ -338,6 +341,56 @@ void BM_PeDistance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PeDistance);
+
+/// One immutable artifact shared by the service benchmarks: partitioning the
+/// shared graph once keeps the setup out of every timed region.
+const service::PartitionService& shared_service() {
+  static const service::PartitionService instance = [] {
+    PartitionRequest request;
+    request.algo = "oms";
+    request.k = 256;
+    return service::PartitionService(
+        Partitioner().partition(shared_graph(), request));
+  }();
+  return instance;
+}
+
+void BM_ServiceWhere(benchmark::State& state) {
+  const service::PartitionService& service = shared_service();
+  const std::uint64_t items = service.artifact().assignment.size();
+  // Pre-encoded request bodies: the benchmark measures the server-side
+  // decode -> lookup -> encode path, not the client's encoder.
+  constexpr std::uint64_t kPool = 1024;
+  std::vector<std::vector<char>> pool;
+  pool.reserve(kPool);
+  for (std::uint64_t i = 0; i < kPool; ++i) {
+    pool.push_back(service::encode_where((i * 2654435761u) % items));
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::vector<char>& body = pool[i++ & (kPool - 1)];
+    benchmark::DoNotOptimize(service.handle(body.data(), body.size()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceWhere);
+
+void BM_ServiceBatch(benchmark::State& state) {
+  const service::PartitionService& service = shared_service();
+  const std::uint64_t items = service.artifact().assignment.size();
+  const auto count = static_cast<std::uint64_t>(state.range(0));
+  std::vector<std::uint64_t> ids(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ids[i] = (i * 48271u) % items;
+  }
+  const std::vector<char> body = service::encode_batch(ids);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.handle(body.data(), body.size()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_ServiceBatch)->Arg(16)->Arg(256)->Arg(4096);
 
 } // namespace
 

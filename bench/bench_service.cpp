@@ -1,0 +1,183 @@
+/// \file bench_service.cpp
+/// \brief Lookup-throughput bench + assertion harness for the partition
+///        service: builds one immutable artifact via the oms::Partitioner
+///        facade, then drives PartitionService::handle() — the full
+///        decode-request -> lookup -> encode-reply path every oms_serve
+///        transport funnels through — with pre-encoded WHERE/RANK/BATCH
+///        bodies on a single thread. Also times the raw artifact.where()
+///        loop so the protocol overhead is visible as a ratio.
+///
+/// Contracts asserted everywhere (all build types): every reply is kOk and
+/// carries exactly the block the artifact stores. The headline throughput
+/// floor — >= 1e6 WHERE requests/s on one thread — is only enforced under
+/// NDEBUG: sanitizer and -O0 builds run the same correctness matrix but are
+/// not held to Release-grade speed. Exits non-zero on violation.
+#include "bench/bench_common.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "oms/graph/generators.hpp"
+#include "oms/oms.hpp"
+#include "oms/stream/checkpoint.hpp"
+#include "oms/util/timer.hpp"
+
+int main() {
+  using namespace oms;
+  using namespace oms::bench;
+  using namespace oms::service;
+  const BenchEnv env = BenchEnv::from_env();
+  preamble("Partition service — single-thread request/reply throughput", env);
+
+  const NodeId n = env.scale == Scale::kSmall
+                       ? (1u << 15)
+                       : (env.scale == Scale::kMedium ? (1u << 17) : (1u << 19));
+  const std::uint64_t ops = env.scale == Scale::kSmall
+                                ? 1'000'000
+                                : (env.scale == Scale::kMedium ? 4'000'000
+                                                               : 16'000'000);
+  PartitionRequest request;
+  request.algo = "oms";
+  request.k = 256;
+  const PartitionService service(
+      Partitioner().partition(gen::barabasi_albert(n, 6, 7), request));
+  const PartitionArtifact& artifact = service.artifact();
+  const std::uint64_t items = artifact.assignment.size();
+  std::cout << "artifact: " << items << " items in k = " << artifact.k
+            << " blocks (algo " << artifact.algo << "), " << ops
+            << " ops per timed rep\n\n";
+
+  // Requests are pre-encoded: the bench measures the server side of the
+  // protocol, not the client's encoder. A pool larger than L2 keeps the
+  // id sequence from degenerating into a single hot cache line.
+  constexpr std::uint64_t kPool = 4096;
+  std::vector<std::vector<char>> where_pool;
+  std::vector<std::vector<char>> rank_pool;
+  where_pool.reserve(kPool);
+  rank_pool.reserve(kPool);
+  for (std::uint64_t i = 0; i < kPool; ++i) {
+    const std::uint64_t v = (i * 2654435761u) % items;
+    where_pool.push_back(encode_where(v));
+    rank_pool.push_back(encode_rank(v));
+  }
+  constexpr std::uint32_t kBatchLen = 256;
+  std::vector<std::uint64_t> batch_ids(kBatchLen);
+  for (std::uint32_t i = 0; i < kBatchLen; ++i) {
+    batch_ids[i] = (static_cast<std::uint64_t>(i) * 48271u) % items;
+  }
+  const std::vector<char> batch_body = encode_batch(batch_ids);
+
+  int failures = 0;
+  const auto expect_ok_u32 = [&](const Reply& reply, std::uint32_t expected,
+                                 const char* label) {
+    CheckpointReader r(reply.body);
+    if (static_cast<Status>(r.get_u32()) != Status::kOk ||
+        r.get_u32() != expected) {
+      std::cerr << "FAIL: " << label << " reply is not kOk/" << expected
+                << "\n";
+      ++failures;
+    }
+  };
+
+  // Correctness sweep first (untimed): every pooled request must round-trip
+  // to exactly the artifact's answer before any throughput is reported.
+  for (std::uint64_t i = 0; i < kPool; ++i) {
+    const std::uint64_t v = (i * 2654435761u) % items;
+    expect_ok_u32(service.handle(where_pool[i].data(), where_pool[i].size()),
+                  static_cast<std::uint32_t>(artifact.where(v)), "WHERE");
+    expect_ok_u32(service.handle(rank_pool[i].data(), rank_pool[i].size()),
+                  static_cast<std::uint32_t>(artifact.rank_of(v)), "RANK");
+  }
+  {
+    const Reply reply = service.handle(batch_body.data(), batch_body.size());
+    CheckpointReader r(reply.body);
+    if (static_cast<Status>(r.get_u32()) != Status::kOk ||
+        r.get_u32() != kBatchLen) {
+      std::cerr << "FAIL: BATCH header mismatch\n";
+      ++failures;
+    } else {
+      for (std::uint32_t i = 0; i < kBatchLen; ++i) {
+        if (r.get_u32() != static_cast<std::uint32_t>(
+                               artifact.where(batch_ids[i]))) {
+          std::cerr << "FAIL: BATCH entry " << i << " mismatch\n";
+          ++failures;
+          break;
+        }
+      }
+    }
+  }
+
+  const auto timed_best = [&](auto&& run) {
+    double best = 0.0;
+    for (int rep = 0; rep < env.repetitions; ++rep) {
+      Timer timer;
+      run();
+      const double t = timer.elapsed_s();
+      if (rep == 0 || t < best) {
+        best = t;
+      }
+    }
+    return best;
+  };
+  // Fold every answer into a checksum the optimizer cannot delete.
+  std::uint64_t sink = 0;
+
+  const double direct_s = timed_best([&] {
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      sink += static_cast<std::uint64_t>(artifact.where(i % items));
+    }
+  });
+  const double where_s = timed_best([&] {
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      const std::vector<char>& body = where_pool[i % kPool];
+      sink += static_cast<std::uint64_t>(
+          service.handle(body.data(), body.size()).body.back());
+    }
+  });
+  const double rank_s = timed_best([&] {
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      const std::vector<char>& body = rank_pool[i % kPool];
+      sink += static_cast<std::uint64_t>(
+          service.handle(body.data(), body.size()).body.back());
+    }
+  });
+  const std::uint64_t batches = ops / kBatchLen;
+  const double batch_s = timed_best([&] {
+    for (std::uint64_t i = 0; i < batches; ++i) {
+      sink += static_cast<std::uint64_t>(
+          service.handle(batch_body.data(), batch_body.size()).body.back());
+    }
+  });
+
+  TablePrinter table({"path", "ops", "time [s]", "Mops/s", "vs direct"});
+  const auto row = [&](const char* path, std::uint64_t count, double t) {
+    const double rate = static_cast<double>(count) / t;
+    table.add_row({std::string(path),
+                   TablePrinter::cell(static_cast<std::int64_t>(count)),
+                   TablePrinter::cell(t, 4), TablePrinter::cell(rate / 1e6, 2),
+                   TablePrinter::cell((static_cast<double>(ops) / direct_s) /
+                                          rate,
+                                      2)});
+  };
+  row("direct where()", ops, direct_s);
+  row("service WHERE", ops, where_s);
+  row("service RANK", ops, rank_s);
+  row("service BATCH/256", batches * kBatchLen, batch_s);
+  table.print(std::cout);
+  std::cout << "\n'vs direct' is the protocol overhead factor per lookup "
+               "(checksum " << (sink & 0xff) << ").\n";
+
+#ifdef NDEBUG
+  const double where_rate = static_cast<double>(ops) / where_s;
+  if (where_rate < 1e6) {
+    std::cerr << "FAIL: service WHERE throughput " << where_rate
+              << " ops/s is below the 1e6 ops/s floor\n";
+    ++failures;
+  }
+#endif
+  if (failures != 0) {
+    std::cerr << failures << " service bench violation(s)\n";
+    return 1;
+  }
+  return 0;
+}

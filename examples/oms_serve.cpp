@@ -1,0 +1,121 @@
+/// \file oms_serve.cpp
+/// \brief Partition-as-a-service daemon: ingest a graph once (or restore a
+///        snapshot), then answer lookup queries over the frame protocol.
+///
+/// Usage:
+///   oms_serve <graph> [partitioning flags of partition_tool] [--socket PATH]
+///   oms_serve --artifact FILE [--socket PATH]
+///
+/// The daemon builds its immutable partition artifact exactly like
+/// partition_tool would (same flags, same oms::Partitioner facade, so the
+/// served assignment is bit-identical to the tool's output), or restores one
+/// from a snapshot written by a previous SNAPSHOT request / write_artifact().
+/// It then serves WHERE / RANK / BATCH / STATS / SNAPSHOT / SHUTDOWN frames
+/// (see service/protocol.hpp for the grammar) until a client sends SHUTDOWN:
+///  * --socket PATH  — Unix-domain socket, one thread per connection;
+///  * default        — a single session on stdin/stdout (protocol bytes own
+///                     stdout; every human-readable message goes to stderr).
+///
+/// Exit codes match partition_tool: 0 clean shutdown, 1 on IoError (bad
+/// graph content, unreadable artifact), 2 on usage errors.
+#include <iostream>
+#include <string>
+
+#include "oms/oms.hpp"
+
+namespace {
+
+[[noreturn]] void usage(int exit_code = 2) {
+  (exit_code == 0 ? std::cout : std::cerr)
+      << "usage: oms_serve <graph> [partitioning flags] [--socket PATH]\n"
+         "       oms_serve --artifact FILE [--socket PATH]\n"
+         "\n"
+         "Builds (or restores) a partition artifact, then answers\n"
+         "WHERE/RANK/BATCH/STATS/SNAPSHOT/SHUTDOWN frames until SHUTDOWN.\n"
+         "Partitioning flags are those of partition_tool (--k, --algo,\n"
+         "--hierarchy, --from-disk, --pipeline, ...).\n"
+         "\n"
+         "  --artifact FILE  serve a snapshot instead of partitioning\n"
+         "  --socket PATH    listen on a Unix-domain socket (default:\n"
+         "                   one session on stdin/stdout)\n";
+  std::exit(exit_code);
+}
+
+struct ServeOptions {
+  std::string artifact; ///< restore this snapshot instead of partitioning
+  std::string socket;   ///< empty = stdin/stdout session
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+  oms::cli::CliRequest cli;
+  ServeOptions serve;
+  try {
+    cli = oms::cli::parse_request(
+        argc, argv,
+        [&serve](const std::string& flag, const oms::cli::ValueFn& value) {
+          if (flag == "--artifact") {
+            serve.artifact = value();
+            return true;
+          }
+          if (flag == "--socket") {
+            serve.socket = value();
+            return true;
+          }
+          return false;
+        });
+  } catch (const oms::cli::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    usage();
+  }
+  if (cli.help) {
+    usage(0);
+  }
+  if (!cli.output.empty()) {
+    std::cerr << "error: --output belongs to partition_tool; use a SNAPSHOT "
+                 "request (or --artifact) with oms_serve\n";
+    return 2;
+  }
+  if (!serve.artifact.empty() && !cli.request.graph_path.empty()) {
+    std::cerr << "error: give either a graph to partition or --artifact, "
+                 "not both\n";
+    return 2;
+  }
+
+  try {
+    oms::PartitionArtifact artifact;
+    if (!serve.artifact.empty()) {
+      artifact = oms::read_artifact(serve.artifact);
+      std::cerr << "restored artifact '" << serve.artifact << "'";
+    } else {
+      artifact = oms::Partitioner().partition(cli.request);
+      std::cerr << "partitioned '" << cli.request.graph_path << "' in "
+                << artifact.elapsed_s << " s";
+    }
+    std::cerr << ": " << artifact.assignment.size() << " "
+              << (artifact.edge_partition ? "edges" : "nodes") << " in k = "
+              << artifact.k << " blocks (algo " << artifact.algo << ")\n";
+
+    const oms::service::PartitionService service(std::move(artifact));
+    if (!serve.socket.empty()) {
+      std::cerr << "listening on '" << serve.socket << "'\n";
+      oms::service::serve_unix_socket(service, serve.socket);
+    } else {
+      std::cerr << "serving one session on stdin/stdout\n";
+      (void)oms::service::serve_stream(service, 0, 1);
+    }
+    std::cerr << "shutdown after " << service.requests_served()
+              << " request(s)\n";
+    return 0;
+  } catch (const oms::InvalidRequest& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const oms::IoError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::bad_alloc&) {
+    std::cerr << "error: out of memory building the served artifact\n";
+    return 1;
+  }
+}

@@ -3,21 +3,12 @@
 ///        SNAP-style *edge-list* streams — the shape of tool a downstream
 ///        user would run in an ingest pipeline.
 ///
-/// Usage:
-///   partition_tool <graph.metis> --k 64
-///                  [--format metis|edgelist]
-///                  [--algo oms|fennel|ldg|hashing|window|buffered
-///                         |hdrf|dbh|grid2d]
-///                  [--hierarchy 4:16:2 --distances 1:10:100]
-///                  [--epsilon 0.03] [--lambda 1.1] [--threads 1] [--seed 1]
-///                  [--buffer-size 4096] [--refine-iters 3]
-///                  [--buffered-engine lp|multilevel]
-///                  [--window-size 1024]
-///                  [--output partition.txt] [--from-disk]
-///                  [--pipeline] [--io-threads 1] [--watchdog-ms 0]
-///                  [--checkpoint ckpt.bin] [--checkpoint-every 65536]
-///                  [--resume ckpt.bin]
-///                  [--on-error abort|skip] [--error-budget 100]
+/// The tool is a thin shell around the unified API: oms::cli::parse_request
+/// maps the flags onto an oms::PartitionRequest, oms::Partitioner executes
+/// it, and the PartitionArtifact that comes back carries the assignment and
+/// every reported metric. oms_serve consumes the same two entry points, so
+/// a partition served by the daemon is bit-identical to this tool's output
+/// for the same flags.
 ///
 /// METIS inputs are partitioned by node (edge-cut / process-mapping
 /// objectives); edge-list inputs are partitioned by *vertex-cut* (hdrf, dbh,
@@ -43,68 +34,18 @@
 /// --on-error=skip tolerates up to --error-budget malformed data lines
 /// instead of aborting on the first one. OMS_FAULTS / OMS_FAULT_SEED arm the
 /// deterministic fault-injection schedule (test harness).
-#include <cmath>
-#include <filesystem>
+///
+/// Exit codes: 0 success, 1 malformed input content (IoError), 2 usage.
 #include <fstream>
 #include <iostream>
-#include <limits>
-#include <memory>
-#include <optional>
-#include <stdexcept>
 #include <string>
 
-#include "oms/buffered/buffered_partitioner.hpp"
-#include "oms/core/online_multisection.hpp"
-#include "oms/edgepart/dbh.hpp"
-#include "oms/edgepart/driver.hpp"
-#include "oms/edgepart/grid2d.hpp"
-#include "oms/edgepart/hdrf.hpp"
-#include "oms/edgepart/hierarchical_hdrf.hpp"
-#include "oms/graph/io.hpp"
-#include "oms/mapping/mapping_cost.hpp"
-#include "oms/partition/fennel.hpp"
-#include "oms/partition/hashing.hpp"
-#include "oms/partition/ldg.hpp"
-#include "oms/partition/metrics.hpp"
-#include "oms/stream/buffered_stream_driver.hpp"
-#include "oms/stream/checkpoint.hpp"
-#include "oms/stream/error_policy.hpp"
-#include "oms/stream/metis_stream.hpp"
-#include "oms/stream/pipeline.hpp"
-#include "oms/stream/window_partitioner.hpp"
+#include "oms/oms.hpp"
 #include "oms/util/fault_injection.hpp"
-#include "oms/util/io_error.hpp"
 #include "oms/util/memory.hpp"
 #include "oms/util/timer.hpp"
 
 namespace {
-
-struct Options {
-  std::string graph_path;
-  std::string format = "auto"; ///< auto | metis | edgelist
-  std::string algo;            ///< default depends on format (oms / hdrf)
-  oms::BlockId k = 0;
-  std::optional<std::string> hierarchy;
-  std::string distances = "1:10:100";
-  double epsilon = 0.03;
-  double lambda = 1.1;
-  int threads = 1;
-  std::uint64_t seed = 1;
-  long buffer_size = 4096;  ///< buffered model: nodes per buffer
-  long refine_iters = 3;    ///< buffered model: refinement budget multiplier
-  std::optional<std::string> buffered_engine; ///< lp | multilevel
-  long window_size = 1024;  ///< sliding window: delayed nodes
-  std::string output;
-  bool from_disk = false;
-  bool pipeline = false;
-  int io_threads = 1;
-  std::uint64_t watchdog_ms = 0;      ///< pipeline queue watchdog; 0 = off
-  std::string checkpoint;             ///< snapshot path; empty = disabled
-  std::uint64_t checkpoint_every = 65536; ///< snapshot cadence (streamed nodes)
-  std::string resume;                 ///< checkpoint to resume from
-  std::string on_error = "abort";     ///< abort | skip (malformed data lines)
-  std::uint64_t error_budget = 100;   ///< max skipped lines under --on-error skip
-};
 
 [[noreturn]] void usage(int exit_code = 2) {
   (exit_code == 0 ? std::cout : std::cerr)
@@ -128,209 +69,140 @@ struct Options {
   std::exit(exit_code);
 }
 
-/// Edge-list extensions autodetected when --format is not given.
-bool looks_like_edge_list(const std::string& path) {
-  const std::string ext = std::filesystem::path(path).extension().string();
-  return ext == ".edgelist" || ext == ".el" || ext == ".edges" || ext == ".snap";
+/// The advisory notes the tool has always printed for thread flags that the
+/// selected execution path cannot exploit. Inspecting the *normalized*
+/// request keeps them accurate without re-implementing any dispatch logic.
+void print_thread_notes(const oms::PartitionRequest& req) {
+  if (req.format == "edgelist") {
+    if (req.threads > 1 || req.io_threads > 1) {
+      std::cerr << "note: vertex-cut assignment is sequential; --pipeline "
+                   "overlaps parsing only (ignoring thread counts > 1)\n";
+    }
+    return;
+  }
+  if (req.from_disk) {
+    if (req.threads > 1) {
+      std::cerr << "note: the disk stream is sequential; ignoring --threads "
+                << req.threads << " (use --pipeline --io-threads for "
+                   "parse/assign overlap)\n";
+    }
+    if (req.algo == "buffered" && req.pipeline && req.io_threads != 1) {
+      std::cerr << "note: buffered model building is sequential; --pipeline "
+                   "overlaps parsing only (ignoring --io-threads "
+                << req.io_threads << ")\n";
+    }
+    return;
+  }
+  if (req.threads > 1 && req.algo == "window") {
+    std::cerr << "note: sliding-window partitioning is sequential; "
+                 "--threads only affects the mapping-cost evaluation\n";
+  }
+  if (req.threads > 1 && req.algo == "buffered") {
+    std::cerr << "note: buffered partitioning is sequential; --threads "
+                 "only affects the mapping-cost evaluation\n";
+  }
 }
 
-Options parse_args(int argc, char** argv) {
-  Options opt;
-  if (argc < 2) {
-    usage();
+void print_summary(const oms::PartitionRequest& req,
+                   const oms::PartitionArtifact& artifact, double total_s) {
+  if (artifact.skip_stats.lines_skipped > 0) {
+    std::cerr << "note: skipped " << artifact.skip_stats.lines_skipped
+              << " malformed line(s) (--on-error skip); first at line "
+              << artifact.skip_stats.first_line << ": "
+              << artifact.skip_stats.first_message << "\n";
   }
-  if (std::string(argv[1]) == "--help" || std::string(argv[1]) == "-h") {
-    usage(0);
+  if (artifact.edge_partition) {
+    std::cout << "streamed " << artifact.num_edges << " edges over "
+              << artifact.num_nodes << " vertices from disk"
+              << (req.pipeline ? " (pipelined)" : "") << ", k = " << artifact.k
+              << ", algo = " << req.algo
+              << (artifact.hierarchy.has_value() ? " (hierarchical)" : "")
+              << "\n";
+    if (artifact.self_loops_skipped > 0) {
+      std::cout << "self-loops skipped: " << artifact.self_loops_skipped << "\n";
+    }
+    std::cout << "replication factor: " << artifact.metrics.replication_factor
+              << "\n";
+    std::cout << "edge imbalance:     " << artifact.metrics.edge_imbalance
+              << "\n";
+    if (artifact.hierarchy.has_value()) {
+      std::cout << "replica cost (hier): " << artifact.metrics.replica_cost
+                << "\n";
+    }
+    std::cout << "assignment time: " << artifact.elapsed_s << " s (total "
+              << total_s << " s, peak RSS "
+              << oms::peak_rss_bytes() / (1024 * 1024) << " MB)\n";
+    return;
   }
-  opt.graph_path = argv[1];
-  int i = 2;
-  const auto value = [&]() -> std::string {
-    if (i + 1 >= argc) {
-      usage();
-    }
-    return argv[++i];
-  };
-  // Shared numeric validation: a typo'd value should print usage, not abort
-  // with an uncaught exception or silently accept a partial parse ("1O").
-  const auto parsed_value = [&](auto parse) {
-    const std::string text = value();
-    try {
-      std::size_t pos = 0;
-      const auto parsed = parse(text, pos);
-      if (pos != text.size()) {
-        usage();
-      }
-      return parsed;
-    } catch (const std::exception&) {
-      usage();
-    }
-  };
-  const auto long_value = [&] {
-    return parsed_value(
-        [](const std::string& s, std::size_t& p) { return std::stol(s, &p); });
-  };
-  const auto double_value = [&] {
-    return parsed_value(
-        [](const std::string& s, std::size_t& p) { return std::stod(s, &p); });
-  };
-  const auto int_value = [&]() -> int {
-    const long parsed = long_value();
-    if (parsed < std::numeric_limits<int>::min() ||
-        parsed > std::numeric_limits<int>::max()) {
-      usage();
-    }
-    return static_cast<int>(parsed);
-  };
-  const auto u64_value = [&] {
-    return parsed_value([](const std::string& s, std::size_t& p) -> std::uint64_t {
-      // stoull silently wraps negative input; only bare digits qualify.
-      if (s.empty() || s[0] < '0' || s[0] > '9') {
-        throw std::invalid_argument("not a decimal uint64");
-      }
-      return static_cast<std::uint64_t>(std::stoull(s, &p));
-    });
-  };
-  for (; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--k") {
-      opt.k = static_cast<oms::BlockId>(int_value());
-    } else if (arg == "--algo") {
-      opt.algo = value();
-    } else if (arg == "--format") {
-      opt.format = value();
-      if (opt.format != "metis" && opt.format != "edgelist") {
-        usage();
-      }
-    } else if (arg == "--lambda") {
-      opt.lambda = double_value();
-    } else if (arg == "--hierarchy") {
-      opt.hierarchy = value();
-    } else if (arg == "--distances") {
-      opt.distances = value();
-    } else if (arg == "--epsilon") {
-      opt.epsilon = double_value();
-    } else if (arg == "--threads") {
-      opt.threads = int_value();
-    } else if (arg == "--seed") {
-      opt.seed = u64_value();
-    } else if (arg == "--buffer-size") {
-      opt.buffer_size = long_value();
-    } else if (arg == "--buffered-engine") {
-      opt.buffered_engine = value();
-      if (*opt.buffered_engine != "lp" && *opt.buffered_engine != "multilevel") {
-        std::cerr << "error: --buffered-engine must be 'lp' or 'multilevel' (got '"
-                  << *opt.buffered_engine << "')\n";
-        usage();
-      }
-    } else if (arg == "--refine-iters") {
-      opt.refine_iters = long_value();
-    } else if (arg == "--window-size") {
-      opt.window_size = long_value();
-    } else if (arg == "--output") {
-      opt.output = value();
-    } else if (arg == "--from-disk") {
-      opt.from_disk = true;
-    } else if (arg == "--pipeline") {
-      opt.pipeline = true;
-      opt.from_disk = true;
-    } else if (arg == "--io-threads") {
-      opt.io_threads = int_value();
-    } else if (arg == "--watchdog-ms") {
-      opt.watchdog_ms = u64_value();
-    } else if (arg == "--checkpoint") {
-      opt.checkpoint = value();
-    } else if (arg == "--checkpoint-every") {
-      opt.checkpoint_every = u64_value();
-    } else if (arg == "--resume") {
-      opt.resume = value();
-    } else if (arg == "--on-error") {
-      opt.on_error = value();
-      if (opt.on_error != "abort" && opt.on_error != "skip") {
-        std::cerr << "error: --on-error must be 'abort' or 'skip' (got '"
-                  << opt.on_error << "')\n";
-        usage();
-      }
-    } else if (arg == "--error-budget") {
-      opt.error_budget = u64_value();
-    } else if (arg == "--help" || arg == "-h") {
-      usage(0);
-    } else {
-      usage();
-    }
+  if (req.from_disk) {
+    std::cout << "streamed " << artifact.num_nodes << " nodes from disk"
+              << (req.pipeline ? " (pipelined)" : "") << " (peak RSS "
+              << oms::peak_rss_bytes() / (1024 * 1024) << " MB)\n";
+    std::cout << "assignment time: " << artifact.elapsed_s << " s (total "
+              << total_s << " s)\n";
+    return;
   }
-  return opt;
+  std::cout << "n = " << artifact.num_nodes << ", m = " << artifact.num_edges
+            << ", k = " << artifact.k << ", algo = " << req.algo << "\n";
+  std::cout << "edge-cut:  " << artifact.metrics.edge_cut << "\n";
+  std::cout << "imbalance: " << artifact.metrics.imbalance << "\n";
+  if (artifact.hierarchy.has_value()) {
+    std::cout << "mapping J: " << artifact.metrics.mapping_j << "\n";
+  }
+  std::cout << "time:      " << artifact.elapsed_s << " s\n";
 }
 
-std::unique_ptr<oms::OnePassAssigner> make_assigner(const Options& opt, oms::NodeId n,
-                                                    oms::EdgeIndex m,
-                                                    oms::NodeWeight total_weight) {
-  using namespace oms;
-  PartitionConfig pc;
-  pc.k = opt.k;
-  pc.epsilon = opt.epsilon;
-  pc.seed = opt.seed;
-  if (opt.algo == "fennel") {
-    return std::make_unique<FennelPartitioner>(n, m, total_weight, pc);
-  }
-  if (opt.algo == "ldg") {
-    return std::make_unique<LdgPartitioner>(n, total_weight, pc);
-  }
-  if (opt.algo == "hashing") {
-    return std::make_unique<HashingPartitioner>(n, total_weight, pc);
-  }
-  if (opt.algo == "window") {
-    WindowConfig wc;
-    wc.window_size = static_cast<NodeId>(opt.window_size);
-    wc.epsilon = opt.epsilon;
-    wc.seed = opt.seed;
-    return std::make_unique<WindowPartitioner>(n, total_weight, wc, opt.k);
-  }
-  if (opt.algo == "oms") {
-    OmsConfig config;
-    config.epsilon = opt.epsilon;
-    config.seed = opt.seed;
-    if (opt.hierarchy.has_value()) {
-      const SystemHierarchy topo =
-          SystemHierarchy::parse(*opt.hierarchy, opt.distances);
-      return std::make_unique<OnlineMultisection>(n, m, total_weight, topo, config);
+int run_tool(const oms::cli::CliRequest& cli) {
+  // Normalizing up front (idempotent; partition() re-runs it) resolves the
+  // format/algo defaults the notes and the summary report on.
+  const oms::PartitionRequest req = oms::Partitioner::normalize(cli.request);
+  print_thread_notes(req);
+
+  oms::Timer total;
+  const oms::PartitionArtifact artifact = oms::Partitioner().partition(req);
+  print_summary(req, artifact, total.elapsed_s());
+
+  if (!cli.output.empty()) {
+    std::ofstream out(cli.output);
+    for (const oms::BlockId b : artifact.assignment) {
+      out << b << '\n';
     }
-    return std::make_unique<OnlineMultisection>(n, m, total_weight, opt.k, config);
+    out.flush();
+    if (!out.good()) {
+      std::cerr << "error: cannot write partition to '" << cli.output << "'\n";
+      return 2;
+    }
+    std::cout << (artifact.edge_partition ? "edge partition" : "partition")
+              << " written to " << cli.output << "\n";
   }
-  usage();
+  return 0;
 }
-
-oms::BufferedConfig buffered_config(const Options& opt,
-                                    const std::optional<oms::SystemHierarchy>& topo) {
-  oms::BufferedConfig bc;
-  bc.buffer_size = static_cast<oms::NodeId>(opt.buffer_size);
-  bc.epsilon = opt.epsilon;
-  bc.seed = opt.seed;
-  bc.refinement_iterations = static_cast<int>(opt.refine_iters);
-  if (opt.buffered_engine.has_value() && *opt.buffered_engine == "multilevel") {
-    bc.engine = oms::BufferedEngine::kMultilevel;
-  }
-  if (topo.has_value()) {
-    // Buffered streaming then optimizes the mapping objective J directly
-    // (distance-weighted gains) instead of plain edge cut.
-    bc.hierarchy = &*topo;
-  }
-  return bc;
-}
-
-int run_tool(Options opt);
-int run_edge_tool(const Options& opt,
-                  const std::optional<oms::SystemHierarchy>& topo);
 
 } // namespace
 
 int main(int argc, char** argv) {
-  const Options opt = parse_args(argc, argv);
+  oms::cli::CliRequest cli;
+  try {
+    cli = oms::cli::parse_request(argc, argv);
+  } catch (const oms::cli::UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    usage();
+  }
+  if (cli.help) {
+    usage(0);
+  }
   try {
     // Deterministic fault injection for the chaos harness: OMS_FAULTS (an
     // explicit site@n schedule) or OMS_FAULT_SEED (a seeded random plan).
     // Unset in production, this arms nothing and every hook stays a no-op.
     oms::FaultPlan::arm_from_env();
-    return run_tool(opt);
+    return run_tool(cli);
+  } catch (const oms::InvalidRequest& e) {
+    // The request itself cannot be executed: a usage problem, like a flag
+    // combination the drivers do not support. No usage dump — the message
+    // names the one thing to fix.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const oms::IoError& e) {
     // Malformed graph *content* (bad header, out-of-range neighbor, missing
     // edge weight, ...) is a user-input problem: report and exit non-zero
@@ -341,393 +213,8 @@ int main(int argc, char** argv) {
     // Also a user-input problem in practice: a graph (or an edge list whose
     // max vertex id sizes the dense streaming state) too large for this
     // machine must fail cleanly, not SIGABRT through std::terminate.
-    std::cerr << "error: out of memory loading '" << opt.graph_path << "'\n";
+    std::cerr << "error: out of memory loading '" << cli.request.graph_path
+              << "'\n";
     return 1;
   }
 }
-
-namespace {
-
-int run_tool(Options opt) {
-  using namespace oms;
-
-  if (opt.format == "auto") {
-    opt.format = looks_like_edge_list(opt.graph_path) ? "edgelist" : "metis";
-  }
-  const bool edge_list = opt.format == "edgelist";
-  if (opt.algo.empty()) {
-    opt.algo = edge_list ? "hdrf" : "oms";
-  }
-  const bool edge_algo =
-      opt.algo == "hdrf" || opt.algo == "dbh" || opt.algo == "grid2d";
-  if (edge_list != edge_algo) {
-    std::cerr << "error: --algo " << opt.algo << " needs --format "
-              << (edge_algo ? "edgelist" : "metis") << "\n";
-    return 2;
-  }
-
-  std::optional<SystemHierarchy> topo;
-  if (opt.hierarchy.has_value()) {
-    topo = SystemHierarchy::parse(*opt.hierarchy, opt.distances);
-    opt.k = topo->num_pes();
-  }
-  if (opt.k < 1) {
-    std::cerr << "error: need --k or --hierarchy\n";
-    return 2;
-  }
-  if (opt.buffered_engine.has_value() && opt.algo != "buffered") {
-    std::cerr << "error: --buffered-engine requires --algo buffered\n";
-    return 2;
-  }
-  // Checkpoint/resume gating: the checkpointing drivers are the sequential
-  // disk streamers for the one-pass algorithms and the buffered model.
-  const bool checkpointing = !opt.checkpoint.empty() || !opt.resume.empty();
-  if (checkpointing) {
-    if (edge_list) {
-      std::cerr << "error: --checkpoint/--resume support METIS node streams "
-                   "only (not edge lists)\n";
-      return 2;
-    }
-    if (opt.pipeline) {
-      std::cerr << "error: --checkpoint/--resume are incompatible with "
-                   "--pipeline (the checkpointing driver is sequential)\n";
-      return 2;
-    }
-    if (opt.algo == "window") {
-      std::cerr << "error: --algo window does not support "
-                   "--checkpoint/--resume (window state is not "
-                   "checkpointable)\n";
-      return 2;
-    }
-    if (opt.checkpoint_every < 1) {
-      std::cerr << "error: --checkpoint-every must be >= 1\n";
-      return 2;
-    }
-    opt.from_disk = true; // checkpoints reference a byte offset in the file
-  }
-  const bool skip_errors = opt.on_error == "skip";
-  if (skip_errors && !edge_list && !opt.from_disk) {
-    std::cerr << "error: --on-error skip applies to streaming runs; add "
-                 "--from-disk (or use an edge-list input)\n";
-    return 2;
-  }
-  if (skip_errors && opt.algo == "buffered") {
-    std::cerr << "error: --on-error skip is not supported with --algo "
-                 "buffered\n";
-    return 2;
-  }
-  if (!std::isfinite(opt.epsilon) || opt.epsilon < 0.0) {
-    // The partitioners OMS_ASSERT on negative slack (and NaN fails every
-    // capacity comparison); reject both here instead.
-    std::cerr << "error: --epsilon must be a finite value >= 0\n";
-    return 2;
-  }
-  constexpr long kMaxNodeCount = std::numeric_limits<NodeId>::max();
-  if (opt.buffer_size < 1 || opt.buffer_size > kMaxNodeCount) {
-    std::cerr << "error: --buffer-size must be in [1, " << kMaxNodeCount << "]\n";
-    return 2;
-  }
-  if (opt.refine_iters < 0 || opt.refine_iters > std::numeric_limits<int>::max()) {
-    std::cerr << "error: --refine-iters must be >= 0\n";
-    return 2;
-  }
-  if (opt.window_size < 1 || opt.window_size > kMaxNodeCount) {
-    std::cerr << "error: --window-size must be in [1, " << kMaxNodeCount << "]\n";
-    return 2;
-  }
-  // Unsupported combinations get exactly one diagnostic each. Window and
-  // buffered now stream from disk like the one-pass algorithms; the only
-  // structural limit left is that both commit nodes in stream order, so the
-  // pipeline can overlap parsing but never fan assignment out.
-  if (opt.algo == "window" && opt.pipeline && opt.io_threads != 1) {
-    std::cerr << "error: --algo window is sequential; --pipeline supports only "
-                 "--io-threads 1\n";
-    return 2;
-  }
-  // The loaders raise IoError on unopenable files, but a bad path deserves
-  // the usage-level exit code (2), not the malformed-content one (1).
-  // Directories open "successfully" on Linux, so reject them explicitly.
-  // FIFOs (process substitution, mkfifo pipelines) must NOT be probe-opened —
-  // the open/close would SIGPIPE the writer — so only regular files get the
-  // readability probe.
-  std::error_code fs_error;
-  const std::filesystem::file_status graph_status =
-      std::filesystem::status(opt.graph_path, fs_error);
-  if (fs_error || std::filesystem::is_directory(graph_status) ||
-      (std::filesystem::is_regular_file(graph_status) &&
-       !std::ifstream(opt.graph_path).good())) {
-    std::cerr << "error: cannot open graph file '" << opt.graph_path << "'\n";
-    return 2;
-  }
-  if (!edge_list && opt.from_disk &&
-      !std::filesystem::is_regular_file(graph_status)) {
-    // --from-disk opens the file twice (header probe, then the full stream),
-    // which a FIFO cannot replay. (The edge-list path opens it exactly once,
-    // so it has no such restriction.)
-    std::cerr << "error: --from-disk needs a regular file, not a pipe\n";
-    return 2;
-  }
-  if (edge_list) {
-    return run_edge_tool(opt, topo);
-  }
-
-  StreamResult result;
-  Timer total;
-  if (opt.from_disk) {
-    if (opt.threads > 1) {
-      std::cerr << "note: the disk stream is sequential; ignoring --threads "
-                << opt.threads << " (use --pipeline --io-threads for "
-                   "parse/assign overlap)\n";
-    }
-    if (opt.io_threads < 0) {
-      std::cerr << "error: --io-threads must be >= 0 (0 = all hardware threads)\n";
-      return 2;
-    }
-    if (opt.algo == "buffered" && opt.pipeline && opt.io_threads != 1) {
-      std::cerr << "note: buffered model building is sequential; --pipeline "
-                   "overlaps parsing only (ignoring --io-threads "
-                << opt.io_threads << ")\n";
-    }
-    // True streaming: only the header is read ahead of time. Capacity bounds
-    // assume unit node weights (total = n), which the header lets us check.
-    MetisNodeStream probe(opt.graph_path);
-    const MetisHeader header = probe.header();
-    if (header.has_node_weights) {
-      std::cerr << "error: --from-disk assumes unit node weights; this graph "
-                   "has node weights (load it without --from-disk)\n";
-      return 2;
-    }
-    // Resume validation happens up front, against the header of the *actual*
-    // input: a checkpoint from a different algorithm, k, seed or graph is a
-    // usage error (exit 2), not a mid-stream IoError (exit 1).
-    const std::string ckpt_algo =
-        opt.algo == "buffered"
-            ? std::string(buffered_checkpoint_algo_id(buffered_config(opt, topo)))
-            : opt.algo;
-    std::optional<CheckpointState> resume_state;
-    if (!opt.resume.empty()) {
-      try {
-        resume_state = read_checkpoint_file(opt.resume);
-        validate_resume(resume_state->meta, ckpt_algo,
-                        static_cast<std::uint64_t>(opt.k), opt.seed,
-                        header.num_nodes);
-      } catch (const IoError& e) {
-        std::cerr << "error: " << e.what() << "\n";
-        return 2;
-      }
-    }
-    const CheckpointState* resume_ptr =
-        resume_state.has_value() ? &*resume_state : nullptr;
-    CheckpointConfig ckpt;
-    ckpt.path = opt.checkpoint;
-    ckpt.every_nodes = opt.checkpoint_every;
-
-    StreamErrorPolicy error_policy;
-    error_policy.action = skip_errors ? StreamErrorPolicy::Action::kSkip
-                                      : StreamErrorPolicy::Action::kAbort;
-    error_policy.skip_budget = opt.error_budget;
-    StreamErrorStats skip_stats;
-
-    if (opt.algo == "buffered") {
-      // The buffered model has its own driver: whole buffers are modeled and
-      // refined jointly, with the pipeline parsing the next buffers ahead.
-      BufferedResult br;
-      if (opt.pipeline) {
-        PipelineConfig pipeline;
-        pipeline.watchdog_ms = opt.watchdog_ms;
-        br = buffered_partition_from_file(opt.graph_path, opt.k,
-                                          buffered_config(opt, topo), pipeline);
-      } else if (checkpointing) {
-        br = buffered_partition_from_file_resumable(opt.graph_path, opt.k,
-                                                    buffered_config(opt, topo),
-                                                    ckpt, resume_ptr);
-      } else {
-        br = buffered_partition_from_file(opt.graph_path, opt.k,
-                                          buffered_config(opt, topo));
-      }
-      result.assignment = std::move(br.assignment);
-      result.elapsed_s = br.elapsed_s;
-    } else {
-      auto assigner = make_assigner(opt, header.num_nodes, header.num_edges,
-                                    static_cast<NodeWeight>(header.num_nodes));
-      if (opt.pipeline) {
-        PipelineConfig pipeline;
-        pipeline.assign_threads = opt.io_threads;
-        pipeline.watchdog_ms = opt.watchdog_ms;
-        pipeline.error_policy = error_policy;
-        pipeline.error_stats_out = &skip_stats;
-        result = run_one_pass_from_file(opt.graph_path, *assigner, pipeline);
-      } else {
-        // The sequential disk path is the checkpointing driver; with no
-        // --checkpoint/--resume it degenerates to the plain one-pass loop.
-        MetisNodeStream stream(opt.graph_path, MetisNodeStream::kDefaultBufferBytes);
-        stream.set_error_policy(error_policy);
-        result = run_one_pass_resumable(stream, *assigner, ckpt_algo, opt.seed,
-                                        ckpt, resume_ptr);
-        skip_stats = stream.error_stats();
-      }
-    }
-    if (skip_stats.lines_skipped > 0) {
-      std::cerr << "note: skipped " << skip_stats.lines_skipped
-                << " malformed line(s) (--on-error skip); first at line "
-                << skip_stats.first_line << ": " << skip_stats.first_message
-                << "\n";
-    }
-    std::cout << "streamed " << header.num_nodes << " nodes from disk"
-              << (opt.pipeline ? " (pipelined)" : "") << " (peak RSS "
-              << peak_rss_bytes() / (1024 * 1024) << " MB)\n";
-    std::cout << "assignment time: " << result.elapsed_s << " s (total "
-              << total.elapsed_s() << " s)\n";
-  } else {
-    const CsrGraph graph = read_metis(opt.graph_path);
-    if (opt.algo == "window") {
-      if (opt.threads > 1) {
-        std::cerr << "note: sliding-window partitioning is sequential; "
-                     "--threads only affects the mapping-cost evaluation\n";
-      }
-      auto window = make_assigner(opt, graph.num_nodes(), graph.num_edges(),
-                                  graph.total_node_weight());
-      result = run_one_pass(graph, *window, 1);
-    } else if (opt.algo == "buffered") {
-      if (opt.threads > 1) {
-        std::cerr << "note: buffered partitioning is sequential; --threads "
-                     "only affects the mapping-cost evaluation\n";
-      }
-      BufferedResult br =
-          buffered_partition(graph, opt.k, buffered_config(opt, topo));
-      result.assignment = std::move(br.assignment);
-      result.elapsed_s = br.elapsed_s;
-    } else {
-      auto assigner = make_assigner(opt, graph.num_nodes(), graph.num_edges(),
-                                    graph.total_node_weight());
-      result = run_one_pass(graph, *assigner, opt.threads);
-    }
-    std::cout << "n = " << graph.num_nodes() << ", m = " << graph.num_edges()
-              << ", k = " << opt.k << ", algo = " << opt.algo << "\n";
-    std::cout << "edge-cut:  " << edge_cut(graph, result.assignment) << "\n";
-    std::cout << "imbalance: " << imbalance(graph, result.assignment, opt.k) << "\n";
-    if (topo.has_value()) {
-      std::cout << "mapping J: "
-                << mapping_cost(graph, *topo, result.assignment, opt.threads) << "\n";
-    }
-    std::cout << "time:      " << result.elapsed_s << " s\n";
-  }
-
-  if (!opt.output.empty()) {
-    std::ofstream out(opt.output);
-    for (const BlockId b : result.assignment) {
-      out << b << '\n';
-    }
-    out.flush();
-    if (!out.good()) {
-      std::cerr << "error: cannot write partition to '" << opt.output << "'\n";
-      return 2;
-    }
-    std::cout << "partition written to " << opt.output << "\n";
-  }
-  return 0;
-}
-
-/// The vertex-cut path: stream the edge list one pass from disk through an
-/// edgepart assigner and report the replication-factor objectives.
-/// \p topo was parsed by run_tool (which also set opt.k to its PE count).
-int run_edge_tool(const Options& opt,
-                  const std::optional<oms::SystemHierarchy>& topo) {
-  using namespace oms;
-
-  if (topo.has_value() && opt.algo != "hdrf") {
-    std::cerr << "error: --hierarchy with an edge list requires --algo hdrf "
-                 "(hierarchical HDRF)\n";
-    return 2;
-  }
-  if (!std::isfinite(opt.lambda) || opt.lambda < 0.0) {
-    std::cerr << "error: --lambda must be a finite value >= 0\n";
-    return 2;
-  }
-  if (opt.threads > 1 || opt.io_threads > 1) {
-    std::cerr << "note: vertex-cut assignment is sequential; --pipeline "
-                 "overlaps parsing only (ignoring thread counts > 1)\n";
-  }
-  if (opt.io_threads < 0) {
-    std::cerr << "error: --io-threads must be >= 0 (0 = all hardware threads)\n";
-    return 2;
-  }
-
-  EdgePartConfig config;
-  config.k = opt.k;
-  config.lambda = opt.lambda;
-  config.epsilon = opt.epsilon;
-  config.seed = opt.seed;
-  std::unique_ptr<StreamingEdgePartitioner> partitioner;
-  if (topo.has_value()) {
-    partitioner = std::make_unique<HierarchicalHdrfPartitioner>(*topo, config);
-  } else if (opt.algo == "hdrf") {
-    partitioner = std::make_unique<HdrfPartitioner>(config);
-  } else if (opt.algo == "dbh") {
-    partitioner = std::make_unique<DbhPartitioner>(config);
-  } else {
-    partitioner = std::make_unique<Grid2dPartitioner>(config);
-  }
-
-  StreamErrorPolicy error_policy;
-  error_policy.action = opt.on_error == "skip" ? StreamErrorPolicy::Action::kSkip
-                                               : StreamErrorPolicy::Action::kAbort;
-  error_policy.skip_budget = opt.error_budget;
-  StreamErrorStats skip_stats;
-
-  Timer total;
-  EdgePartitionResult result;
-  if (opt.pipeline) {
-    PipelineConfig pipeline;
-    pipeline.watchdog_ms = opt.watchdog_ms;
-    pipeline.error_policy = error_policy;
-    pipeline.error_stats_out = &skip_stats;
-    result = run_edge_partition_from_file(opt.graph_path, *partitioner, pipeline);
-  } else {
-    result = run_edge_partition_from_file(opt.graph_path, *partitioner,
-                                          error_policy, &skip_stats);
-  }
-  if (skip_stats.lines_skipped > 0) {
-    std::cerr << "note: skipped " << skip_stats.lines_skipped
-              << " malformed line(s) (--on-error skip); first at line "
-              << skip_stats.first_line << ": " << skip_stats.first_message
-              << "\n";
-  }
-
-  std::cout << "streamed " << result.stats.num_edges << " edges over "
-            << result.stats.num_vertices << " vertices from disk"
-            << (opt.pipeline ? " (pipelined)" : "") << ", k = "
-            << partitioner->num_blocks() << ", algo = " << opt.algo
-            << (topo.has_value() ? " (hierarchical)" : "") << "\n";
-  if (result.stats.self_loops_skipped > 0) {
-    std::cout << "self-loops skipped: " << result.stats.self_loops_skipped
-              << "\n";
-  }
-  std::cout << "replication factor: " << replication_factor(partitioner->replicas())
-            << "\n";
-  std::cout << "edge imbalance:     " << edge_imbalance(partitioner->edge_loads())
-            << "\n";
-  if (topo.has_value()) {
-    std::cout << "replica cost (hier): "
-              << hierarchical_replica_cost(partitioner->replicas(), *topo) << "\n";
-  }
-  std::cout << "assignment time: " << result.elapsed_s << " s (total "
-            << total.elapsed_s() << " s, peak RSS "
-            << peak_rss_bytes() / (1024 * 1024) << " MB)\n";
-
-  if (!opt.output.empty()) {
-    std::ofstream out(opt.output);
-    for (const BlockId b : result.edge_assignment) {
-      out << b << '\n';
-    }
-    out.flush();
-    if (!out.good()) {
-      std::cerr << "error: cannot write partition to '" << opt.output << "'\n";
-      return 2;
-    }
-    std::cout << "edge partition written to " << opt.output << "\n";
-  }
-  return 0;
-}
-
-} // namespace

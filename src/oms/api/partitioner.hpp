@@ -1,0 +1,49 @@
+/// \file partitioner.hpp
+/// \brief The unified partitioning facade: one entry point over every driver
+///        family in the library — flat one-pass, OMS mapping, sliding
+///        window, buffered (lp/multilevel), and the vertex-cut edge
+///        partitioners — sequential, pipelined, checkpointed or in memory.
+///
+/// The facade routes a PartitionRequest to the existing drivers, so its
+/// results are bit-identical to calling those drivers directly (pinned by
+/// the facade parity suite). partition_tool, oms_serve and the tests all
+/// dispatch through here; the legacy free functions remain as the routed-to
+/// implementations and as thin compatibility entry points for one release.
+///
+/// Error contract:
+///  * InvalidRequest — the request itself cannot be executed (unknown algo,
+///    contradictory flags, unusable path, resume mismatch). CLIs exit 2.
+///  * oms::IoError  — the input *content* is malformed. CLIs exit 1.
+#pragma once
+
+#include "oms/api/partition_artifact.hpp"
+#include "oms/api/partition_request.hpp"
+#include "oms/graph/csr_graph.hpp"
+
+namespace oms {
+
+class Partitioner {
+public:
+  /// Fill defaults and validate: resolves format "auto" from the extension,
+  /// picks the per-format default algorithm, derives k from the hierarchy,
+  /// makes pipeline/checkpointing imply from_disk, and rejects every
+  /// contradictory or out-of-range combination with InvalidRequest.
+  /// Idempotent; partition() normalizes internally, so calling this first is
+  /// only needed to *inspect* the resolved request (the CLIs do, for their
+  /// advisory notes).
+  [[nodiscard]] static PartitionRequest normalize(PartitionRequest request);
+
+  /// Ingest request.graph_path once (streaming from disk or loading in
+  /// memory, per the request) and produce the partition artifact.
+  /// Throws InvalidRequest / IoError per the contract above.
+  [[nodiscard]] PartitionArtifact partition(const PartitionRequest& request) const;
+
+  /// In-memory entry point over an already-loaded graph (node algorithms
+  /// only; graph_path/format/from_disk/pipeline/checkpoint fields are
+  /// ignored). Decisions are bit-identical to the disk entry point on the
+  /// same node order.
+  [[nodiscard]] PartitionArtifact partition(const CsrGraph& graph,
+                                            const PartitionRequest& request) const;
+};
+
+} // namespace oms

@@ -1,0 +1,57 @@
+/// \file parse_request.hpp
+/// \brief Shared command-line front end: flags -> oms::PartitionRequest.
+///
+/// partition_tool and oms_serve accept the same partitioning flags; both map
+/// them onto PartitionRequest through this one parser so the mapping cannot
+/// drift. The parser only *shapes* the request (flag syntax, numeric
+/// ranges of the flag values themselves); semantic validation — unknown
+/// algorithms, contradictory combinations — is Partitioner::normalize()'s
+/// job, so both CLIs and library callers get identical diagnostics.
+///
+/// Every syntax problem throws UsageError with a message; the tools print
+/// "error: <message>" followed by their usage text and exit 2. (This fixed a
+/// historical inconsistency where bad flag *values* printed bare usage with
+/// no error line while bad combinations printed an error line with no usage.)
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "oms/api/partition_request.hpp"
+
+namespace oms::cli {
+
+/// Flag-syntax problem: unknown option, missing or malformed value. The
+/// CLIs print "error: <what()>", their usage text, and exit 2.
+class UsageError : public std::runtime_error {
+public:
+  explicit UsageError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// What the shared flags parse to. Fields beyond the request are the flags
+/// that make no sense in the library API (output is a CLI concern).
+struct CliRequest {
+  PartitionRequest request;
+  std::string output; ///< --output FILE; empty = stdout summary only
+  bool help = false;  ///< --help / -h anywhere; caller prints usage, exits 0
+};
+
+/// Fetches the current flag's operand; throws UsageError when it is missing.
+using ValueFn = std::function<std::string()>;
+/// Hook for tool-specific flags (oms_serve's --socket/--artifact/...): called
+/// with each flag the shared parser does not recognize; return true after
+/// consuming it (calling \p value as needed), false to make parse_request
+/// reject the flag as unknown.
+using ExtraFlag = std::function<bool(const std::string& flag, const ValueFn& value)>;
+
+/// Parse `argv[1..argc)` into a CliRequest. argv[1] is the input graph path
+/// unless it starts with '-' (tools whose input can come from elsewhere —
+/// oms_serve with --artifact — simply get an empty graph_path, which
+/// Partitioner::normalize rejects if a partitioning run is actually
+/// requested). Throws UsageError on any flag-syntax problem.
+[[nodiscard]] CliRequest parse_request(int argc, char** argv,
+                                       const ExtraFlag& extra = {});
+
+} // namespace oms::cli

@@ -1,0 +1,58 @@
+#include "oms/service/protocol.hpp"
+
+#include "oms/stream/checkpoint.hpp"
+
+namespace oms::service {
+namespace {
+
+[[nodiscard]] std::vector<char> op_only(Op op) {
+  CheckpointWriter w;
+  w.put_u32(static_cast<std::uint32_t>(op));
+  return w.bytes();
+}
+
+} // namespace
+
+std::vector<char> frame(std::span<const char> body) {
+  CheckpointWriter w;
+  w.put_u32(static_cast<std::uint32_t>(body.size()));
+  w.put_raw(body.data(), body.size());
+  return w.bytes();
+}
+
+std::vector<char> encode_where(std::uint64_t id) {
+  CheckpointWriter w;
+  w.put_u32(static_cast<std::uint32_t>(Op::kWhere));
+  w.put_u64(id);
+  return w.bytes();
+}
+
+std::vector<char> encode_rank(std::uint64_t id) {
+  CheckpointWriter w;
+  w.put_u32(static_cast<std::uint32_t>(Op::kRank));
+  w.put_u64(id);
+  return w.bytes();
+}
+
+std::vector<char> encode_batch(std::span<const std::uint64_t> ids) {
+  CheckpointWriter w;
+  w.put_u32(static_cast<std::uint32_t>(Op::kBatch));
+  w.put_u32(static_cast<std::uint32_t>(ids.size()));
+  for (const std::uint64_t id : ids) {
+    w.put_u64(id);
+  }
+  return w.bytes();
+}
+
+std::vector<char> encode_stats() { return op_only(Op::kStats); }
+
+std::vector<char> encode_snapshot(const std::string& path) {
+  CheckpointWriter w;
+  w.put_u32(static_cast<std::uint32_t>(Op::kSnapshot));
+  w.put_string(path);
+  return w.bytes();
+}
+
+std::vector<char> encode_shutdown() { return op_only(Op::kShutdown); }
+
+} // namespace oms::service

@@ -1,0 +1,75 @@
+/// \file protocol.hpp
+/// \brief The oms_serve wire protocol: length-prefixed binary frames over a
+///        byte stream (Unix socket or stdin/stdout).
+///
+/// Frame:   u32 body_len (little-endian) | body_len bytes
+/// Request: u32 opcode | operands
+/// Reply:   u32 status | payload
+///
+/// Requests (operands -> OK payload):
+///   kWhere    u64 id            -> u32 block
+///   kRank     u64 id            -> u32 leaf id in the multisection tree
+///   kBatch    u32 n, n x u64 id -> u32 n, n x u32 block (kInvalidEntry
+///                                  for out-of-range ids; a batch never
+///                                  fails item-wise)
+///   kStats    (none)            -> u32 edge_partition, u32 k, u64 items,
+///                                  u64 num_nodes, u64 num_edges,
+///                                  u64 requests_served, f64 elapsed_s,
+///                                  string algo
+///   kSnapshot string path       -> (empty; artifact persisted to path)
+///   kShutdown (none)            -> (empty; server stops after the reply)
+///
+/// strings are u32 byte length + bytes (CheckpointWriter::put_string).
+/// Every error reply carries string message after the status. Malformed
+/// input of any kind gets a *typed error reply*, never a crash: truncated
+/// or trailing operand bytes -> kBadFrame, an unknown opcode -> kBadOp, a
+/// single out-of-range id -> kOutOfRange, a body length over kMaxFrameBytes
+/// -> kTooLarge (after which the connection closes — an oversized length
+/// prefix cannot be resynchronized), a failed snapshot write -> kIo.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace oms::service {
+
+/// Upper bound on a frame body; a length prefix beyond it is a protocol
+/// violation (kTooLarge), not an allocation request.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+enum class Op : std::uint32_t {
+  kWhere = 1,
+  kRank = 2,
+  kBatch = 3,
+  kStats = 4,
+  kSnapshot = 5,
+  kShutdown = 6,
+};
+
+enum class Status : std::uint32_t {
+  kOk = 0,
+  kBadFrame = 1,   ///< body truncated, trailing bytes, or too short
+  kBadOp = 2,      ///< unknown opcode
+  kOutOfRange = 3, ///< kWhere/kRank id outside the artifact
+  kTooLarge = 4,   ///< frame body length over kMaxFrameBytes
+  kIo = 5,         ///< snapshot write failed
+};
+
+/// Per-item sentinel in kBatch replies for ids outside the artifact.
+inline constexpr std::uint32_t kInvalidEntry = 0xffffffffu;
+
+// --- client-side encoders (tests, bench, scripted sessions) ----------------
+
+/// Wrap a request/reply body in its length-prefixed frame.
+[[nodiscard]] std::vector<char> frame(std::span<const char> body);
+
+[[nodiscard]] std::vector<char> encode_where(std::uint64_t id);
+[[nodiscard]] std::vector<char> encode_rank(std::uint64_t id);
+[[nodiscard]] std::vector<char> encode_batch(std::span<const std::uint64_t> ids);
+[[nodiscard]] std::vector<char> encode_stats();
+[[nodiscard]] std::vector<char> encode_snapshot(const std::string& path);
+[[nodiscard]] std::vector<char> encode_shutdown();
+
+} // namespace oms::service

@@ -1,0 +1,245 @@
+#include "oms/service/service.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "oms/service/protocol.hpp"
+#include "oms/stream/checkpoint.hpp"
+#include "oms/util/io_error.hpp"
+
+namespace oms::service {
+namespace {
+
+[[nodiscard]] std::vector<char> error_reply(Status status,
+                                            const std::string& message) {
+  CheckpointWriter w;
+  w.put_u32(static_cast<std::uint32_t>(status));
+  w.put_string(message);
+  return w.bytes();
+}
+
+} // namespace
+
+Reply PartitionService::handle(const char* body, std::size_t size) const {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Reply reply;
+  CheckpointReader r(body, size);
+  CheckpointWriter ok;
+  ok.put_u32(static_cast<std::uint32_t>(Status::kOk));
+  std::string snapshot_path;
+  try {
+    // Operand parsing rides the bounds-checked CheckpointReader: a short
+    // body throws IoError from any get_*, trailing bytes from expect_end —
+    // both are kBadFrame. No operand escapes validation before use.
+    const auto op = static_cast<Op>(r.get_u32());
+    switch (op) {
+      case Op::kWhere:
+      case Op::kRank: {
+        const std::uint64_t id = r.get_u64();
+        r.expect_end();
+        const std::int64_t answer = op == Op::kWhere
+                                        ? static_cast<std::int64_t>(artifact_.where(id))
+                                        : artifact_.rank_of(id);
+        if (answer < 0) {
+          reply.body = error_reply(
+              Status::kOutOfRange,
+              "id " + std::to_string(id) + " outside the artifact (holds " +
+                  std::to_string(artifact_.assignment.size()) + " items)");
+          return reply;
+        }
+        ok.put_u32(static_cast<std::uint32_t>(answer));
+        break;
+      }
+      case Op::kBatch: {
+        const std::uint32_t count = r.get_u32();
+        // 8 bytes per id: a count the body cannot actually hold is a framing
+        // lie, caught before any allocation sized by it.
+        if (std::uint64_t{count} * 8 > r.remaining()) {
+          throw IoError("batch count larger than the frame body");
+        }
+        ok.put_u32(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const BlockId b = artifact_.where(r.get_u64());
+          ok.put_u32(b == kInvalidBlock ? kInvalidEntry
+                                        : static_cast<std::uint32_t>(b));
+        }
+        r.expect_end();
+        break;
+      }
+      case Op::kStats: {
+        r.expect_end();
+        ok.put_u32(artifact_.edge_partition ? 1 : 0);
+        ok.put_u32(static_cast<std::uint32_t>(artifact_.k));
+        ok.put_u64(artifact_.assignment.size());
+        ok.put_u64(artifact_.num_nodes);
+        ok.put_u64(artifact_.num_edges);
+        ok.put_u64(requests_served());
+        ok.put_f64(artifact_.elapsed_s);
+        ok.put_string(artifact_.algo);
+        break;
+      }
+      case Op::kSnapshot: {
+        snapshot_path = r.get_string();
+        r.expect_end();
+        break; // the write happens below, outside the kBadFrame catch
+      }
+      case Op::kShutdown: {
+        r.expect_end();
+        reply.shutdown = true;
+        break;
+      }
+      default:
+        reply.body = error_reply(
+            Status::kBadOp,
+            "unknown opcode " + std::to_string(static_cast<std::uint32_t>(op)));
+        return reply;
+    }
+  } catch (const IoError& e) {
+    reply.body = error_reply(Status::kBadFrame, e.what());
+    reply.shutdown = false; // a malformed kShutdown shuts nothing down
+    return reply;
+  }
+  if (!snapshot_path.empty()) {
+    try {
+      write_artifact(artifact_, snapshot_path);
+    } catch (const IoError& e) {
+      reply.body = error_reply(Status::kIo, e.what());
+      return reply;
+    }
+  }
+  reply.body = ok.bytes();
+  return reply;
+}
+
+namespace {
+
+/// Loop read() until exactly \p bytes arrived. False on EOF or error; a
+/// clean EOF *between* frames is the normal way a client leaves.
+[[nodiscard]] bool read_exact(int fd, void* out, std::size_t bytes) {
+  auto* cur = static_cast<char*>(out);
+  while (bytes > 0) {
+    const ssize_t got = ::read(fd, cur, bytes);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    cur += got;
+    bytes -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+[[nodiscard]] bool write_all(int fd, const void* data, std::size_t bytes) {
+  const auto* cur = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t put = ::write(fd, cur, bytes);
+    if (put <= 0) {
+      if (put < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    cur += put;
+    bytes -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+[[nodiscard]] bool send_reply(int fd, const std::vector<char>& body) {
+  const std::vector<char> framed = frame(body);
+  return write_all(fd, framed.data(), framed.size());
+}
+
+} // namespace
+
+bool serve_stream(const PartitionService& service, int in_fd, int out_fd) {
+  std::vector<char> body;
+  for (;;) {
+    std::uint32_t body_len = 0;
+    if (!read_exact(in_fd, &body_len, sizeof body_len)) {
+      return false; // client hung up (or died mid-prefix)
+    }
+    if (body_len > kMaxFrameBytes) {
+      // The declared length is the only way to find the next frame, so an
+      // implausible one is unrecoverable: answer with the typed error, then
+      // drop the connection instead of consuming gigabytes looking for it.
+      (void)send_reply(out_fd,
+                       error_reply(Status::kTooLarge,
+                                   "frame body of " + std::to_string(body_len) +
+                                       " bytes exceeds the limit of " +
+                                       std::to_string(kMaxFrameBytes)));
+      return false;
+    }
+    body.resize(body_len);
+    if (body_len > 0 && !read_exact(in_fd, body.data(), body_len)) {
+      return false; // truncated frame: client died mid-send
+    }
+    const Reply reply = service.handle(body.data(), body.size());
+    if (!send_reply(out_fd, reply.body)) {
+      return false;
+    }
+    if (reply.shutdown) {
+      return true;
+    }
+  }
+}
+
+void serve_unix_socket(const PartitionService& service,
+                       const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    throw IoError("socket path too long for AF_UNIX: '" + socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    throw IoError(std::string("socket(AF_UNIX): ") + std::strerror(errno));
+  }
+  ::unlink(socket_path.c_str()); // replace a stale socket from a dead server
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(listen_fd);
+    throw IoError("cannot listen on '" + socket_path + "': " + reason);
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (;;) {
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR && !stop.load(std::memory_order_acquire)) {
+        continue;
+      }
+      break; // listen fd shut down by the kShutdown handler below
+    }
+    workers.emplace_back([&service, &stop, listen_fd, conn] {
+      if (serve_stream(service, conn, conn)) {
+        stop.store(true, std::memory_order_release);
+        // Unblock the accept() so the server loop can wind down.
+        ::shutdown(listen_fd, SHUT_RDWR);
+      }
+      ::close(conn);
+    });
+    if (stop.load(std::memory_order_acquire)) {
+      break;
+    }
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+}
+
+} // namespace oms::service

@@ -1,0 +1,66 @@
+/// \file service.hpp
+/// \brief Partition-as-a-service: a PartitionArtifact served over the frame
+///        protocol of protocol.hpp.
+///
+/// PartitionService::handle() is the pure core — request body in, reply body
+/// out, never throws, no I/O except an explicit kSnapshot — so the whole
+/// malformed-frame matrix is testable without a socket. The serve_* loops
+/// add the transport: a single blocking fd pair (stdin/stdout) or a
+/// Unix-domain socket with one thread per connection. Lookups touch only the
+/// immutable artifact, so concurrent connections need no locking; the only
+/// shared mutable state is the served-requests counter (relaxed atomic).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oms/api/partition_artifact.hpp"
+
+namespace oms::service {
+
+/// A reply body plus the connection-control verdict the transport obeys.
+struct Reply {
+  std::vector<char> body;
+  bool shutdown = false; ///< kShutdown acknowledged: stop the whole server
+};
+
+class PartitionService {
+public:
+  /// Takes ownership of the artifact; the service answers from it verbatim.
+  explicit PartitionService(PartitionArtifact artifact)
+      : artifact_(std::move(artifact)) {}
+
+  [[nodiscard]] const PartitionArtifact& artifact() const noexcept {
+    return artifact_;
+  }
+
+  /// Answer one request body (the frame payload, without the length prefix).
+  /// Total function: malformed bodies yield typed error replies (kBadFrame /
+  /// kBadOp / kOutOfRange / kIo), never an exception. Thread-safe.
+  [[nodiscard]] Reply handle(const char* body, std::size_t size) const;
+
+  /// Requests answered so far (any status), across all connections.
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+private:
+  PartitionArtifact artifact_;
+  mutable std::atomic<std::uint64_t> requests_{0};
+};
+
+/// Serve one blocking connection: read frames from \p in_fd, write replies
+/// to \p out_fd until EOF, an unrecoverable framing violation (oversized
+/// length prefix — an error reply is sent first), or kShutdown.
+/// Returns true iff kShutdown was received (the caller stops the server).
+bool serve_stream(const PartitionService& service, int in_fd, int out_fd);
+
+/// Bind \p socket_path (an existing stale socket file is replaced), accept
+/// connections with one serve_stream thread each, and return once any
+/// connection sends kShutdown. Throws oms::IoError on socket setup failure.
+void serve_unix_socket(const PartitionService& service,
+                       const std::string& socket_path);
+
+} // namespace oms::service

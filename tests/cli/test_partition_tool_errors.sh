@@ -192,6 +192,22 @@ check_clean_error "node algo on edgelist input" 2 \
 check_clean_error "engine flag with edgelist algo" 2 \
   "$tool" "$tmpdir/good.edgelist" --k 2 --algo dbh --buffered-engine lp
 
+# --- Flag-syntax errors (the shared oms::cli parser) ------------------------
+# Every bad-flag path exits 2 with an "error:" line before the usage text —
+# the tools share one parser, so these hold for oms_serve as well.
+check_clean_error "unknown option" 2 \
+  "$tool" "$tmpdir/good.graph" --k 2 --frobnicate
+check_clean_error "missing value for flag" 2 \
+  "$tool" "$tmpdir/good.graph" --k
+check_clean_error "non-numeric k" 2 \
+  "$tool" "$tmpdir/good.graph" --k lots
+check_clean_error "non-numeric epsilon" 2 \
+  "$tool" "$tmpdir/good.graph" --k 2 --epsilon wide
+check_clean_error "negative seed rejected as u64" 2 \
+  "$tool" "$tmpdir/good.graph" --k 2 --seed -1
+check_clean_error "no input graph" 2 \
+  "$tool" --k 2
+
 if [ "$failures" -ne 0 ]; then
   echo "$failures CLI error-channel check(s) failed"
   exit 1

@@ -1,0 +1,181 @@
+#!/usr/bin/env bash
+# Service smoke for CI: a scripted client session against a live oms_serve
+# daemon. Phase 1 partitions a generated ring on startup and serves a Unix
+# socket; the python client checks WHERE/BATCH/STATS answers, an
+# out-of-range id (typed kOutOfRange reply), a deliberately malformed frame
+# (typed kBadFrame reply — the daemon must keep serving afterwards), takes a
+# SNAPSHOT, and sends SHUTDOWN; the daemon must then exit 0 on its own.
+# Phase 2 restarts from the snapshot over the stdin/stdout transport and must
+# answer the same WHERE queries identically.
+# Usage: service_smoke.sh <path-to-oms_serve>
+set -u
+
+serve="$1"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+graph="$tmpdir/ring.graph"
+awk 'BEGIN {
+  n = 2000;
+  printf "%d %d\n", n, n;
+  for (i = 1; i <= n; i++) {
+    l = i - 1; if (l < 1) l = n;
+    r = i + 1; if (r > n) r = 1;
+    printf "%d %d\n", l, r;
+  }
+}' > "$graph"
+
+socket="$tmpdir/oms.sock"
+snapshot="$tmpdir/snapshot.part"
+failures=0
+
+"$serve" "$graph" --k 8 --socket "$socket" 2> "$tmpdir/serve.log" &
+serve_pid=$!
+
+python3 - "$socket" "$snapshot" > "$tmpdir/socket_answers.txt" <<'EOF'
+import socket, struct, sys, time
+
+sock_path, snap_path = sys.argv[1], sys.argv[2]
+OK, BAD_FRAME, OUT_OF_RANGE = 0, 1, 3
+
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+for _ in range(400):  # the daemon partitions the graph before it listens
+    try:
+        s.connect(sock_path)
+        break
+    except OSError:
+        time.sleep(0.05)
+else:
+    sys.exit("could not connect to " + sock_path)
+
+def send_raw(body):
+    s.sendall(struct.pack("<I", len(body)) + body)
+
+def read_exactly(n):
+    buf = b""
+    while len(buf) < n:
+        chunk = s.recv(n - len(buf))
+        if not chunk:
+            sys.exit("server hung up mid-reply")
+        buf += chunk
+    return buf
+
+def roundtrip(body):
+    send_raw(body)
+    (length,) = struct.unpack("<I", read_exactly(4))
+    reply = read_exactly(length)
+    return struct.unpack("<I", reply[:4])[0], reply[4:]
+
+def expect(label, got, want):
+    if got != want:
+        sys.exit(f"{label}: got {got}, want {want}")
+
+# WHERE for the first ten items: record the blocks for the restore phase.
+blocks = []
+for v in range(10):
+    status, payload = roundtrip(struct.pack("<IQ", 1, v))
+    expect(f"WHERE {v} status", status, OK)
+    blocks.append(struct.unpack("<I", payload)[0])
+print(" ".join(str(b) for b in blocks))
+
+# Out-of-range id: a typed error reply, not a dropped connection.
+status, _ = roundtrip(struct.pack("<IQ", 1, 1 << 60))
+expect("WHERE out-of-range status", status, OUT_OF_RANGE)
+
+# A malformed frame (one stray byte): kBadFrame, and the session survives.
+status, _ = roundtrip(b"\x01")
+expect("malformed frame status", status, BAD_FRAME)
+
+# BATCH over the same ids must agree with the scalar answers.
+status, payload = roundtrip(struct.pack("<II", 3, 10) +
+                            b"".join(struct.pack("<Q", v) for v in range(10)))
+expect("BATCH status", status, OK)
+count = struct.unpack("<I", payload[:4])[0]
+expect("BATCH count", count, 10)
+batch = list(struct.unpack("<10I", payload[4:44]))
+expect("BATCH blocks", batch, blocks)
+
+# STATS: k and the request counter (everything above, this one included).
+status, payload = roundtrip(struct.pack("<I", 4))
+expect("STATS status", status, OK)
+_, k, items = struct.unpack("<IIQ", payload[:16])
+expect("STATS k", k, 8)
+expect("STATS items", items, 2000)
+requests = struct.unpack("<Q", payload[32:40])[0]
+expect("STATS requests served", requests, 14)
+
+# SNAPSHOT, then a clean SHUTDOWN ack.
+path = snap_path.encode()
+status, _ = roundtrip(struct.pack("<II", 5, len(path)) + path)
+expect("SNAPSHOT status", status, OK)
+status, _ = roundtrip(struct.pack("<I", 6))
+expect("SHUTDOWN status", status, OK)
+s.close()
+EOF
+client_rc=$?
+if [ "$client_rc" -ne 0 ]; then
+  echo "FAIL: scripted socket session"
+  sed 's/^/  serve: /' "$tmpdir/serve.log"
+  kill "$serve_pid" 2> /dev/null
+  failures=$((failures + 1))
+fi
+
+wait "$serve_pid"
+serve_rc=$?
+if [ "$client_rc" -eq 0 ]; then
+  if [ "$serve_rc" -ne 0 ]; then
+    echo "FAIL: daemon exited $serve_rc after SHUTDOWN (want 0)"
+    sed 's/^/  serve: /' "$tmpdir/serve.log"
+    failures=$((failures + 1))
+  else
+    echo "ok   [socket session: lookups, typed errors, snapshot, shutdown]"
+  fi
+fi
+
+# Phase 2: restore from the snapshot over stdin/stdout and re-ask the same
+# WHERE queries; the answers must be bit-identical to the live daemon's.
+python3 - <<'EOF' > "$tmpdir/requests.bin"
+import struct, sys
+out = b""
+for v in range(10):
+    body = struct.pack("<IQ", 1, v)
+    out += struct.pack("<I", len(body)) + body
+body = struct.pack("<I", 6)  # SHUTDOWN
+out += struct.pack("<I", len(body)) + body
+sys.stdout.buffer.write(out)
+EOF
+
+if "$serve" --artifact "$snapshot" < "$tmpdir/requests.bin" \
+     > "$tmpdir/replies.bin" 2>> "$tmpdir/serve.log"; then
+  python3 - "$tmpdir/replies.bin" <<'EOF' > "$tmpdir/restored_answers.txt"
+import struct, sys
+data = open(sys.argv[1], "rb").read()
+blocks, off = [], 0
+while off < len(data):
+    (length,) = struct.unpack_from("<I", data, off)
+    off += 4
+    reply = data[off:off + length]
+    off += length
+    status = struct.unpack_from("<I", reply, 0)[0]
+    if status != 0:
+        sys.exit(f"restored daemon replied status {status}")
+    if len(reply) == 8:  # WHERE replies carry a block; the SHUTDOWN ack is bare
+        blocks.append(struct.unpack_from("<I", reply, 4)[0])
+print(" ".join(str(b) for b in blocks))
+EOF
+  if cmp -s <(head -n 1 "$tmpdir/socket_answers.txt") "$tmpdir/restored_answers.txt"; then
+    echo "ok   [snapshot restore answers bit-identical over stdio]"
+  else
+    echo "FAIL: restored answers differ from the live daemon's"
+    failures=$((failures + 1))
+  fi
+else
+  echo "FAIL: oms_serve --artifact session exited non-zero"
+  failures=$((failures + 1))
+fi
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures service smoke failure(s)"
+  exit 1
+fi
+echo "service smoke passed"
