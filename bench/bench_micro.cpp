@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "oms/api/partitioner.hpp"
@@ -28,6 +29,7 @@
 #include "oms/stream/one_pass_driver.hpp"
 #include "oms/stream/pipeline.hpp"
 #include "oms/stream/window_partitioner.hpp"
+#include "oms/telemetry/metrics.hpp"
 
 namespace {
 
@@ -193,6 +195,36 @@ void BM_MetisStreamPartitionPipelined(benchmark::State& state) {
   metis_stream_partition<true>(state);
 }
 BENCHMARK(BM_MetisStreamPartitionPipelined);
+
+void BM_TelemetryOverhead(benchmark::State& state) {
+  // The cost of the permanently compiled telemetry hooks on the densest
+  // instrumented surface, the sequential disk-stream partition (per-line
+  // reader hooks + per-4096-node flushes). Arg(0) runs disarmed — the
+  // production default, where every hook is one relaxed load and the /0
+  // entry must stay within noise of BM_MetisStreamPartitionSeq — and Arg(1)
+  // runs with a registry armed, pinning the full instrumentation cost.
+  const std::string path = "/tmp/oms_bench_micro_telemetry." +
+                           std::to_string(::getpid()) + ".graph";
+  const CsrGraph& graph = shared_graph();
+  write_metis(graph, path);
+  std::optional<telemetry::MetricsRegistry> registry;
+  if (state.range(0) != 0) {
+    registry.emplace(); // the destructor disarms
+    telemetry::MetricsRegistry::arm(*registry);
+  }
+  for (auto _ : state) {
+    PartitionConfig pc;
+    pc.k = 256;
+    FennelPartitioner fennel(graph.num_nodes(), graph.num_edges(),
+                             graph.total_node_weight(), pc);
+    const StreamResult r = run_one_pass_from_file(path, fennel);
+    benchmark::DoNotOptimize(r.assignment.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.num_nodes()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1);
 
 void BM_BufferedPartition(benchmark::State& state) {
   // Buffered (HeiStream-style) model build + refinement throughput on the

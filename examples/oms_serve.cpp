@@ -16,9 +16,16 @@
 ///  * default        — a single session on stdin/stdout (protocol bytes own
 ///                     stdout; every human-readable message goes to stderr).
 ///
+/// Telemetry is always armed: the METRICS opcode returns live counters and
+/// per-opcode latency histograms on both transports. --metrics-out FILE
+/// additionally writes the final registry as JSON at shutdown; --progress
+/// narrates the build phase on stderr.
+///
 /// Exit codes match partition_tool: 0 clean shutdown, 1 on IoError (bad
 /// graph content, unreadable artifact), 2 on usage errors.
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "oms/oms.hpp"
@@ -37,7 +44,10 @@ namespace {
          "\n"
          "  --artifact FILE  serve a snapshot instead of partitioning\n"
          "  --socket PATH    listen on a Unix-domain socket (default:\n"
-         "                   one session on stdin/stdout)\n";
+         "                   one session on stdin/stdout)\n"
+         "  --metrics-out FILE  write the telemetry registry as JSON at\n"
+         "                      shutdown (METRICS serves it live either way)\n"
+         "  --progress          stderr heartbeat while building the artifact\n";
   std::exit(exit_code);
 }
 
@@ -83,13 +93,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // The daemon always arms telemetry: METRICS must answer with live data on
+  // any session, and the hooks' armed cost is per-batch/per-request, far off
+  // the lookup fast path.
+  oms::telemetry::MetricsRegistry registry;
+  oms::telemetry::MetricsRegistry::arm(registry);
+
   try {
     oms::PartitionArtifact artifact;
+    {
+      std::unique_ptr<oms::telemetry::ProgressReporter> progress;
+      if (cli.progress) {
+        progress = std::make_unique<oms::telemetry::ProgressReporter>();
+      }
+      if (!serve.artifact.empty()) {
+        artifact = oms::read_artifact(serve.artifact);
+      } else {
+        artifact = oms::Partitioner().partition(cli.request);
+      }
+    }
     if (!serve.artifact.empty()) {
-      artifact = oms::read_artifact(serve.artifact);
       std::cerr << "restored artifact '" << serve.artifact << "'";
     } else {
-      artifact = oms::Partitioner().partition(cli.request);
       std::cerr << "partitioned '" << cli.request.graph_path << "' in "
                 << artifact.elapsed_s << " s";
     }
@@ -107,6 +132,16 @@ int main(int argc, char** argv) {
     }
     std::cerr << "shutdown after " << service.requests_served()
               << " request(s)\n";
+    if (!cli.metrics_out.empty()) {
+      std::ofstream out(cli.metrics_out);
+      out << registry.scrape().to_json() << '\n';
+      out.flush();
+      if (!out.good()) {
+        std::cerr << "error: cannot write metrics to '" << cli.metrics_out
+                  << "'\n";
+        return 2;
+      }
+    }
     return 0;
   } catch (const oms::InvalidRequest& e) {
     std::cerr << "error: " << e.what() << "\n";

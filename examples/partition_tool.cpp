@@ -35,9 +35,16 @@
 /// instead of aborting on the first one. OMS_FAULTS / OMS_FAULT_SEED arm the
 /// deterministic fault-injection schedule (test harness).
 ///
+/// Observability: --metrics-out FILE writes the full telemetry registry as
+/// one "oms.metrics.v1" JSON document after the run; --progress prints a
+/// stderr heartbeat (items/s, percent done, ETA) while streaming. Both leave
+/// stdout byte-identical to a plain run.
+///
 /// Exit codes: 0 success, 1 malformed input content (IoError), 2 usage.
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "oms/oms.hpp"
@@ -65,7 +72,8 @@ namespace {
          "                      [--pipeline] [--io-threads T] [--watchdog-ms MS]\n"
          "                      [--checkpoint FILE] [--checkpoint-every N]\n"
          "                      [--resume FILE]\n"
-         "                      [--on-error abort|skip] [--error-budget N]\n";
+         "                      [--on-error abort|skip] [--error-budget N]\n"
+         "                      [--metrics-out FILE] [--progress]\n";
   std::exit(exit_code);
 }
 
@@ -101,6 +109,18 @@ void print_thread_notes(const oms::PartitionRequest& req) {
     std::cerr << "note: buffered partitioning is sequential; --threads "
                  "only affects the mapping-cost evaluation\n";
   }
+}
+
+/// One stdout line of merged WorkCounters (node one-pass routes; buffered
+/// and edge runs carry none). Printed on every run — with or without
+/// --metrics-out — so instrumented runs stay byte-identical on stdout.
+void print_work_line(const oms::WorkCounters& work) {
+  if (work.total() == 0) {
+    return;
+  }
+  std::cout << "work: " << work.score_evaluations << " score evals, "
+            << work.neighbor_visits << " neighbor visits, "
+            << work.layers_traversed << " layers\n";
 }
 
 void print_summary(const oms::PartitionRequest& req,
@@ -140,6 +160,7 @@ void print_summary(const oms::PartitionRequest& req,
               << oms::peak_rss_bytes() / (1024 * 1024) << " MB)\n";
     std::cout << "assignment time: " << artifact.elapsed_s << " s (total "
               << total_s << " s)\n";
+    print_work_line(artifact.work);
     return;
   }
   std::cout << "n = " << artifact.num_nodes << ", m = " << artifact.num_edges
@@ -150,6 +171,7 @@ void print_summary(const oms::PartitionRequest& req,
     std::cout << "mapping J: " << artifact.metrics.mapping_j << "\n";
   }
   std::cout << "time:      " << artifact.elapsed_s << " s\n";
+  print_work_line(artifact.work);
 }
 
 int run_tool(const oms::cli::CliRequest& cli) {
@@ -158,9 +180,37 @@ int run_tool(const oms::cli::CliRequest& cli) {
   const oms::PartitionRequest req = oms::Partitioner::normalize(cli.request);
   print_thread_notes(req);
 
+  // Telemetry is armed only when something will consume it; a plain run
+  // keeps every hook on its one-relaxed-load fast path.
+  std::optional<oms::telemetry::MetricsRegistry> registry;
+  if (!cli.metrics_out.empty() || cli.progress) {
+    registry.emplace();
+    oms::telemetry::MetricsRegistry::arm(*registry);
+  }
+
   oms::Timer total;
-  const oms::PartitionArtifact artifact = oms::Partitioner().partition(req);
+  oms::PartitionArtifact artifact;
+  {
+    // Scoped so the heartbeat thread stops (and prints its final line)
+    // before the summary; --progress writes stderr only.
+    std::unique_ptr<oms::telemetry::ProgressReporter> progress;
+    if (cli.progress) {
+      progress = std::make_unique<oms::telemetry::ProgressReporter>();
+    }
+    artifact = oms::Partitioner().partition(req);
+  }
   print_summary(req, artifact, total.elapsed_s());
+
+  if (!cli.metrics_out.empty()) {
+    std::ofstream out(cli.metrics_out);
+    out << registry->scrape().to_json() << '\n';
+    out.flush();
+    if (!out.good()) {
+      std::cerr << "error: cannot write metrics to '" << cli.metrics_out
+                << "'\n";
+      return 2;
+    }
+  }
 
   if (!cli.output.empty()) {
     std::ofstream out(cli.output);

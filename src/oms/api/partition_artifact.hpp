@@ -22,6 +22,7 @@
 #include "oms/mapping/hierarchy.hpp"
 #include "oms/stream/error_policy.hpp"
 #include "oms/types.hpp"
+#include "oms/util/work_counters.hpp"
 
 namespace oms {
 
@@ -57,6 +58,9 @@ struct PartitionArtifact {
   /// Malformed-line skip accounting of the run (on_error=skip); transient,
   /// not serialized.
   StreamErrorStats skip_stats;
+  /// Merged work counters of the producing run (node one-pass routes only;
+  /// all-zero elsewhere); transient, not serialized.
+  WorkCounters work;
 
   /// O(1) lookup: block of item \p v (node id, or edge index for vertex-cut
   /// artifacts). kInvalidBlock for out-of-range ids — callers that must

@@ -28,6 +28,7 @@
 #include "oms/stream/metis_stream.hpp"
 #include "oms/stream/pipeline.hpp"
 #include "oms/stream/window_partitioner.hpp"
+#include "oms/telemetry/metrics.hpp"
 #include "oms/util/io_error.hpp"
 
 namespace oms {
@@ -248,6 +249,9 @@ void validate_tuning(const PartitionRequest& req) {
   PartitionArtifact artifact = base_artifact(req, std::move(topo));
   artifact.num_nodes = header.num_nodes;
   artifact.num_edges = header.num_edges;
+  // The header announces the stream size up front — that is what turns the
+  // --progress heartbeat from a plain rate into percent-done + ETA.
+  telemetry::gauge_set(telemetry::Gauge::kProgressTotalItems, header.num_nodes);
 
   if (req.algo == "buffered") {
     const BufferedConfig bc = buffered_config(req, artifact.hierarchy);
@@ -290,6 +294,7 @@ void validate_tuning(const PartitionRequest& req) {
     }
     artifact.assignment = std::move(result.assignment);
     artifact.elapsed_s = result.elapsed_s;
+    artifact.work = result.work;
   }
   artifact.rebuild_tree();
   return artifact;
@@ -304,6 +309,7 @@ void validate_tuning(const PartitionRequest& req) {
   PartitionArtifact artifact = base_artifact(req, std::move(topo));
   artifact.num_nodes = graph.num_nodes();
   artifact.num_edges = graph.num_edges();
+  telemetry::gauge_set(telemetry::Gauge::kProgressTotalItems, graph.num_nodes());
 
   if (req.algo == "buffered") {
     const BufferedConfig bc = buffered_config(req, artifact.hierarchy);
@@ -319,6 +325,7 @@ void validate_tuning(const PartitionRequest& req) {
     StreamResult result = run_one_pass(graph, *assigner, threads);
     artifact.assignment = std::move(result.assignment);
     artifact.elapsed_s = result.elapsed_s;
+    artifact.work = result.work;
   }
 
   artifact.metrics.edge_cut =

@@ -6,6 +6,7 @@
 #include "oms/mapping/hierarchy.hpp"
 #include "oms/multilevel/buffer_multilevel.hpp"
 #include "oms/stream/checkpoint.hpp"
+#include "oms/telemetry/metrics.hpp"
 #include "oms/util/assert.hpp"
 #include "oms/util/io_error.hpp"
 #include "oms/util/timer.hpp"
@@ -454,13 +455,20 @@ template <bool kUnit, typename LocalBlock, typename NodeAt>
 void BufferedPartitioner::run_buffer(std::vector<LocalBlock>& local,
                                      NodeId first_id, std::uint32_t count,
                                      std::size_t arc_bound, NodeAt&& node_at) {
-  build_and_place<kUnit>(local, first_id, count, arc_bound, node_at);
+  {
+    const telemetry::TraceSpan span(telemetry::Hist::kStageBufferBuild);
+    build_and_place<kUnit>(local, first_id, count, arc_bound, node_at);
+  }
   // The cheap active-set refine always runs: its result is the multilevel
   // engine's incoming candidate (and never-worse fallback), anchoring the
   // two engines' trajectories together — they only diverge on buffers where
   // the V-cycle strictly improves the model objective.
-  refine(local);
+  {
+    const telemetry::TraceSpan span(telemetry::Hist::kStageBufferRefine);
+    refine(local);
+  }
   if (engine_ == BufferedEngine::kMultilevel) {
+    const telemetry::TraceSpan span(telemetry::Hist::kStageMultilevel);
     refine_multilevel(local);
   }
   // One sequential flush per buffer: the hot loops above only touch the
@@ -470,6 +478,7 @@ void BufferedPartitioner::run_buffer(std::vector<LocalBlock>& local,
     assignment_[begin_ + i] = static_cast<BlockId>(local[i]);
   }
   ++buffers_processed_;
+  telemetry::metric_add(telemetry::Counter::kBufferedBuffers);
 }
 
 template <typename NodeAt>

@@ -111,6 +111,10 @@ CliRequest parse_request(int argc, char** argv, const ExtraFlag& extra) {
       req.window_size = long_value(arg, value);
     } else if (arg == "--output") {
       cli.output = value();
+    } else if (arg == "--metrics-out") {
+      cli.metrics_out = value();
+    } else if (arg == "--progress") {
+      cli.progress = true;
     } else if (arg == "--from-disk") {
       req.from_disk = true;
     } else if (arg == "--pipeline") {

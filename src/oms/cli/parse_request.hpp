@@ -34,8 +34,10 @@ public:
 /// that make no sense in the library API (output is a CLI concern).
 struct CliRequest {
   PartitionRequest request;
-  std::string output; ///< --output FILE; empty = stdout summary only
-  bool help = false;  ///< --help / -h anywhere; caller prints usage, exits 0
+  std::string output;      ///< --output FILE; empty = stdout summary only
+  std::string metrics_out; ///< --metrics-out FILE; telemetry JSON after the run
+  bool progress = false;   ///< --progress; stderr heartbeat while running
+  bool help = false; ///< --help / -h anywhere; caller prints usage, exits 0
 };
 
 /// Fetches the current flag's operand; throws UsageError when it is missing.

@@ -1,6 +1,7 @@
 #include "oms/edgepart/driver.hpp"
 
 #include "oms/stream/pipeline_core.hpp"
+#include "oms/telemetry/metrics.hpp"
 #include "oms/util/timer.hpp"
 
 namespace oms {
@@ -25,8 +26,18 @@ EdgePartitionResult run_edge_partition_from_file(
   EdgePartitionResult result;
   Timer timer;
   StreamedEdge edge;
+  // Edge counting is batched so the armed-telemetry cost stays off the
+  // per-edge path; the pipelined overload counts per batch instead.
+  std::uint64_t pending_edges = 0;
   while (stream.next(edge)) {
     partitioner.assign(edge);
+    if (++pending_edges == 8192) {
+      telemetry::metric_add(telemetry::Counter::kStreamEdges, pending_edges);
+      pending_edges = 0;
+    }
+  }
+  if (pending_edges != 0) {
+    telemetry::metric_add(telemetry::Counter::kStreamEdges, pending_edges);
   }
   result.elapsed_s = timer.elapsed_s();
   result.stats = stats_of(stream);
@@ -54,6 +65,7 @@ EdgePartitionResult run_edge_partition_from_file(
         for (std::size_t i = 0; i < count; ++i) {
           partitioner.assign(batch.edge(i));
         }
+        telemetry::metric_add(telemetry::Counter::kStreamEdges, count);
       },
       config.watchdog_ms);
   result.elapsed_s = timer.elapsed_s();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "oms/telemetry/metrics.hpp"
 #include "oms/util/assert.hpp"
 
 namespace oms {
@@ -405,6 +406,7 @@ void BufferMultilevel::improve(const BufferModelView& model,
   // character changes. The state advances identically for identical buffer
   // sequences, so entry-point parity is preserved.
   if (salt < skip_until_) {
+    telemetry::metric_add(telemetry::Counter::kMultilevelBackoffSkips);
     return;
   }
   OMS_ASSERT(partition.size() == n);
@@ -601,6 +603,8 @@ void BufferMultilevel::improve(const BufferModelView& model,
   const auto [final_cost, incoming_cost] =
       model_cost_pair(finest, finest_aff, cur_part_, incoming_, dist);
   const bool commit = final_cost < incoming_cost - incoming_cost / 64;
+  telemetry::metric_add(commit ? telemetry::Counter::kMultilevelCommitsAccepted
+                               : telemetry::Counter::kMultilevelCommitsRejected);
   if (commit) {
     fail_streak_ = 0;
   } else {

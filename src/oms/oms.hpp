@@ -18,4 +18,6 @@
 #include "oms/partition/metrics.hpp"      // edge_cut / imbalance / mapping_cost / ...
 #include "oms/service/protocol.hpp"       // the oms_serve wire protocol
 #include "oms/service/service.hpp"        // PartitionService + serve loops
+#include "oms/telemetry/metrics.hpp"      // MetricsRegistry / TraceSpan / hooks
+#include "oms/telemetry/progress.hpp"     // --progress stderr heartbeat
 #include "oms/util/io_error.hpp"          // IoError / ContentError

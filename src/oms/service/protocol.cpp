@@ -55,4 +55,6 @@ std::vector<char> encode_snapshot(const std::string& path) {
 
 std::vector<char> encode_shutdown() { return op_only(Op::kShutdown); }
 
+std::vector<char> encode_metrics() { return op_only(Op::kMetrics); }
+
 } // namespace oms::service

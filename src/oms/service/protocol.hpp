@@ -18,6 +18,9 @@
 ///                                  string algo
 ///   kSnapshot string path       -> (empty; artifact persisted to path)
 ///   kShutdown (none)            -> (empty; server stops after the reply)
+///   kMetrics  (none)            -> string json ("oms.metrics.v1" document
+///                                  scraped from the armed MetricsRegistry;
+///                                  all-zero when telemetry is disarmed)
 ///
 /// strings are u32 byte length + bytes (CheckpointWriter::put_string).
 /// Every error reply carries string message after the status. Malformed
@@ -46,6 +49,7 @@ enum class Op : std::uint32_t {
   kStats = 4,
   kSnapshot = 5,
   kShutdown = 6,
+  kMetrics = 7,
 };
 
 enum class Status : std::uint32_t {
@@ -71,5 +75,6 @@ inline constexpr std::uint32_t kInvalidEntry = 0xffffffffu;
 [[nodiscard]] std::vector<char> encode_stats();
 [[nodiscard]] std::vector<char> encode_snapshot(const std::string& path);
 [[nodiscard]] std::vector<char> encode_shutdown();
+[[nodiscard]] std::vector<char> encode_metrics();
 
 } // namespace oms::service

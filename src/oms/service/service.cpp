@@ -10,6 +10,7 @@
 
 #include "oms/service/protocol.hpp"
 #include "oms/stream/checkpoint.hpp"
+#include "oms/telemetry/metrics.hpp"
 #include "oms/util/io_error.hpp"
 
 namespace oms::service {
@@ -23,9 +24,26 @@ namespace {
   return w.bytes();
 }
 
+/// Per-opcode telemetry counter. A request counts under its opcode as soon
+/// as the opcode parses (typed error replies included); frames too short to
+/// carry one, and unknown opcodes, count as invalid.
+[[nodiscard]] telemetry::Counter op_counter(Op op) noexcept {
+  switch (op) {
+    case Op::kWhere: return telemetry::Counter::kServiceReqWhere;
+    case Op::kRank: return telemetry::Counter::kServiceReqRank;
+    case Op::kBatch: return telemetry::Counter::kServiceReqBatch;
+    case Op::kStats: return telemetry::Counter::kServiceReqStats;
+    case Op::kSnapshot: return telemetry::Counter::kServiceReqSnapshot;
+    case Op::kShutdown: return telemetry::Counter::kServiceReqShutdown;
+    case Op::kMetrics: return telemetry::Counter::kServiceReqMetrics;
+  }
+  return telemetry::Counter::kServiceReqInvalid;
+}
+
 } // namespace
 
 Reply PartitionService::handle(const char* body, std::size_t size) const {
+  const telemetry::TraceSpan span(telemetry::Hist::kServiceRequest);
   requests_.fetch_add(1, std::memory_order_relaxed);
   Reply reply;
   CheckpointReader r(body, size);
@@ -37,6 +55,7 @@ Reply PartitionService::handle(const char* body, std::size_t size) const {
     // body throws IoError from any get_*, trailing bytes from expect_end —
     // both are kBadFrame. No operand escapes validation before use.
     const auto op = static_cast<Op>(r.get_u32());
+    telemetry::metric_add(op_counter(op));
     switch (op) {
       case Op::kWhere:
       case Op::kRank: {
@@ -93,6 +112,18 @@ Reply PartitionService::handle(const char* body, std::size_t size) const {
         reply.shutdown = true;
         break;
       }
+      case Op::kMetrics: {
+        r.expect_end();
+        // The reply is always a valid "oms.metrics.v1" document; a daemon
+        // running without telemetry armed reports all-zero metrics rather
+        // than an error, so clients need no capability probe.
+        const telemetry::MetricsRegistry* reg =
+            telemetry::MetricsRegistry::armed();
+        const telemetry::MetricsSnapshot snap =
+            reg != nullptr ? reg->scrape() : telemetry::MetricsSnapshot{};
+        ok.put_string(snap.to_json());
+        break;
+      }
       default:
         reply.body = error_reply(
             Status::kBadOp,
@@ -100,6 +131,7 @@ Reply PartitionService::handle(const char* body, std::size_t size) const {
         return reply;
     }
   } catch (const IoError& e) {
+    telemetry::metric_add(telemetry::Counter::kServiceReqInvalid);
     reply.body = error_reply(Status::kBadFrame, e.what());
     reply.shutdown = false; // a malformed kShutdown shuts nothing down
     return reply;

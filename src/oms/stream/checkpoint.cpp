@@ -7,6 +7,7 @@
 
 #include "oms/stream/block_weights.hpp"
 #include "oms/stream/metis_stream.hpp"
+#include "oms/telemetry/metrics.hpp"
 #include "oms/util/assignment_array.hpp"
 #include "oms/util/crc32.hpp"
 #include "oms/util/fault_injection.hpp"
@@ -87,6 +88,7 @@ void CheckpointReader::expect_end() const {
 
 void write_checkpoint_file(const std::string& path, const CheckpointMeta& meta,
                            const std::vector<char>& payload) {
+  const telemetry::TraceSpan span(telemetry::Hist::kStageCheckpointWrite);
   CheckpointWriter w;
   w.put_u64(kCheckpointMagic);
   w.put_u32(kCheckpointVersion);
@@ -113,6 +115,9 @@ void write_checkpoint_file(const std::string& path, const CheckpointMeta& meta,
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw IoError("cannot move checkpoint into place at '" + path + "'");
   }
+  telemetry::metric_add(telemetry::Counter::kCheckpointSnapshots);
+  telemetry::metric_add(telemetry::Counter::kCheckpointBytes,
+                        w.bytes().size() + sizeof crc);
 }
 
 CheckpointState read_checkpoint_file(const std::string& path) {
@@ -267,9 +272,14 @@ StreamResult run_one_pass_resumable(MetisNodeStream& stream,
   Timer timer;
   WorkCounters counters;
   StreamedNode node{};
+  std::uint64_t pending_nodes = 0;
   while (stream.next(node)) {
     assigner.assign(node, 0, counters);
     ++streamed;
+    if (++pending_nodes == 4096) {
+      telemetry::metric_add(telemetry::Counter::kStreamNodes, pending_nodes);
+      pending_nodes = 0;
+    }
     if (streamed >= next_snapshot) {
       CheckpointMeta meta;
       meta.algo = algo;
@@ -293,6 +303,10 @@ StreamResult run_one_pass_resumable(MetisNodeStream& stream,
       next_snapshot += every;
     }
   }
+  if (pending_nodes != 0) {
+    telemetry::metric_add(telemetry::Counter::kStreamNodes, pending_nodes);
+  }
+  telemetry::publish_work(counters);
   result.elapsed_s = timer.elapsed_s();
   result.work = counters;
   result.assignment = assigner.take_assignment();

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "oms/telemetry/metrics.hpp"
 #include "oms/util/fault_injection.hpp"
 #include "oms/util/io_error.hpp"
 
@@ -120,6 +121,7 @@ public:
           pos_ = nl_pos + 1;
           scanned_ = 0;
           ++line_no_;
+          telemetry::metric_add(telemetry::Counter::kStreamLinesParsed);
           return true;
         }
       }
@@ -129,6 +131,7 @@ public:
           pos_ = end_;
           scanned_ = 0;
           ++line_no_;
+          telemetry::metric_add(telemetry::Counter::kStreamLinesParsed);
           return true;
         }
         return false;
@@ -215,6 +218,7 @@ private:
         failed = got == 0 && std::ferror(file_.get()) != 0;
         transient = failed && (errno == EINTR || errno == EAGAIN);
         if (!failed) {
+          telemetry::metric_add(telemetry::Counter::kStreamBytesRead, got);
           return got;
         }
         std::clearerr(file_.get());
@@ -223,6 +227,7 @@ private:
         throw IoError(path_ + ":" + std::to_string(line_no_) + ": read error" +
                       (transient ? " (transient, retries exhausted)" : ""));
       }
+      telemetry::metric_add(telemetry::Counter::kStreamReadRetries);
       std::this_thread::sleep_for(std::chrono::milliseconds(1LL << attempt));
     }
   }

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "oms/telemetry/metrics.hpp"
 #include "oms/util/assert.hpp"
 #include "oms/util/timer.hpp"
 
@@ -157,6 +158,7 @@ std::size_t MetisNodeStream::fill_batch(NodeBatch& batch, std::size_t max_nodes,
     }
     batch.commit_node(weight);
   }
+  telemetry::metric_add(telemetry::Counter::kStreamNodes, batch.size());
   return batch.size();
 }
 
@@ -183,9 +185,20 @@ StreamResult run_one_pass_from_file(const std::string& path,
   Timer timer;
   WorkCounters counters;
   StreamedNode node{};
+  // Node counting is batched (flushed every 4096) so the armed-telemetry
+  // cost stays off the per-node path; fill_batch() covers pipelined runs.
+  std::uint64_t pending_nodes = 0;
   while (stream.next(node)) {
     assigner.assign(node, 0, counters);
+    if (++pending_nodes == 4096) {
+      telemetry::metric_add(telemetry::Counter::kStreamNodes, pending_nodes);
+      pending_nodes = 0;
+    }
   }
+  if (pending_nodes != 0) {
+    telemetry::metric_add(telemetry::Counter::kStreamNodes, pending_nodes);
+  }
+  telemetry::publish_work(counters);
   result.elapsed_s = timer.elapsed_s();
   result.work = counters;
   result.assignment = assigner.take_assignment();

@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "oms/telemetry/metrics.hpp"
 #include "oms/util/parallel.hpp"
 #include "oms/util/timer.hpp"
 
@@ -40,6 +41,10 @@ StreamResult run_one_pass(const CsrGraph& graph, OnePassAssigner& assigner,
                     });
   }
 
+  // One end-of-run publish; the in-memory assign loop itself stays free of
+  // hooks (it is the BM_Stream* surface the regression gate pins).
+  telemetry::metric_add(telemetry::Counter::kStreamNodes, graph.num_nodes());
+  telemetry::publish_work(result.work);
   result.elapsed_s = timer.elapsed_s();
   result.assignment = assigner.take_assignment();
   return result;

@@ -41,6 +41,7 @@ StreamResult run_one_pass_from_file(const std::string& path,
   for (const WorkCounters& c : counters) {
     result.work += c;
   }
+  telemetry::publish_work(result.work);
   if (config.error_stats_out != nullptr) {
     *config.error_stats_out = stream.error_stats();
   }

@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "oms/telemetry/metrics.hpp"
 #include "oms/util/fault_injection.hpp"
 #include "oms/util/io_error.hpp"
 #include "oms/util/parallel.hpp"
@@ -71,13 +72,34 @@ void run_batched_pipeline(std::size_t ring_batches, int consumers, Fill&& fill,
   const auto producer_loop = [&] {
     try {
       BatchPtr batch;
-      while (free_q.pop(batch)) {
+      while (true) {
+        // Telemetry: the time spent waiting for a recycled batch is exactly
+        // the backpressure the consumers exert on the reader. Clock reads
+        // happen only with a registry armed.
+        if (telemetry::enabled()) [[unlikely]] {
+          const std::uint64_t t0 = telemetry::now_ns();
+          const bool ok = free_q.pop(batch);
+          telemetry::metric_add(telemetry::Counter::kPipelineProducerStallNs,
+                                telemetry::now_ns() - t0);
+          if (!ok) {
+            break;
+          }
+        } else if (!free_q.pop(batch)) {
+          break;
+        }
         fault_sleep(FaultSite::kFillDelay);
-        if (fill(*batch) == 0) {
-          break; // stream exhausted
+        {
+          const telemetry::TraceSpan span(telemetry::Hist::kStageParse);
+          if (fill(*batch) == 0) {
+            break; // stream exhausted
+          }
         }
         if (!filled_q.push(std::move(batch))) {
           break; // a consumer failed and closed the queues
+        }
+        if (telemetry::enabled()) [[unlikely]] {
+          telemetry::gauge_max(telemetry::Gauge::kPipelineQueueDepthMax,
+                               filled_q.size());
         }
       }
     } catch (...) {
@@ -105,24 +127,50 @@ void run_batched_pipeline(std::size_t ring_batches, int consumers, Fill&& fill,
     Batch batch;
     while (true) {
       fault_sleep(FaultSite::kFillDelay);
-      if (fill(batch) == 0) {
-        return;
+      {
+        const telemetry::TraceSpan span(telemetry::Hist::kStageParse);
+        if (fill(batch) == 0) {
+          return;
+        }
       }
       if (fault_fires(FaultSite::kConsumeThrow)) {
         throw IoError("injected consumer fault");
       }
-      consume(batch, 0);
+      {
+        const telemetry::TraceSpan span(telemetry::Hist::kStageAssign);
+        consume(batch, 0);
+      }
+      telemetry::metric_add(telemetry::Counter::kPipelineBatches);
     }
   }
 
   const auto consume_loop = [&](int thread_id) {
     try {
       BatchPtr batch;
-      while (filled_q.pop(batch)) {
+      while (true) {
+        // Telemetry mirror of the producer side: waits on the filled queue
+        // measure reader-bound (or sibling-starved) consumers.
+        if (telemetry::enabled()) [[unlikely]] {
+          const std::uint64_t t0 = telemetry::now_ns();
+          const bool ok = filled_q.pop(batch);
+          const std::uint64_t waited = telemetry::now_ns() - t0;
+          telemetry::metric_add(telemetry::Counter::kPipelineConsumerWaitNs,
+                                waited);
+          telemetry::hist_record(telemetry::Hist::kPipelineQueueWait, waited);
+          if (!ok) {
+            break;
+          }
+        } else if (!filled_q.pop(batch)) {
+          break;
+        }
         if (fault_fires(FaultSite::kConsumeThrow)) {
           throw IoError("injected consumer fault");
         }
-        consume(*batch, thread_id);
+        {
+          const telemetry::TraceSpan span(telemetry::Hist::kStageAssign);
+          consume(*batch, thread_id);
+        }
+        telemetry::metric_add(telemetry::Counter::kPipelineBatches);
         if (!free_q.push(std::move(batch))) {
           break;
         }

@@ -1,5 +1,6 @@
 #include "oms/stream/window_partitioner.hpp"
 
+#include "oms/telemetry/metrics.hpp"
 #include "oms/util/assert.hpp"
 
 namespace oms {
@@ -38,6 +39,7 @@ BlockId WindowPartitioner::assign(const StreamedNode& node, int /*thread_id*/,
 }
 
 void WindowPartitioner::flush_one(WorkCounters& counters) {
+  telemetry::metric_add(telemetry::Counter::kWindowEvictions);
   const Slot& slot = ring_[head_];
   head_ = (head_ + 1) % ring_.size();
   --count_;

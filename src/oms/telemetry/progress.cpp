@@ -1,0 +1,82 @@
+/// \file progress.cpp
+/// \brief ProgressReporter heartbeat: scrape the armed registry, derive
+///        items/rate/ETA, print one stderr line per tick.
+
+#include "oms/telemetry/progress.hpp"
+
+#include <cinttypes>
+#include <cstdint>
+
+#include "oms/telemetry/metrics.hpp"
+
+namespace oms::telemetry {
+
+ProgressReporter::ProgressReporter(std::FILE* out,
+                                   std::chrono::milliseconds interval)
+    : out_(out), start_(std::chrono::steady_clock::now()),
+      thread_([this, interval] { run(interval); }) {}
+
+ProgressReporter::~ProgressReporter() { stop(); }
+
+void ProgressReporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) {
+      return;
+    }
+    stopping_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  tick(/*final_tick=*/true);
+}
+
+void ProgressReporter::run(std::chrono::milliseconds interval) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+      return;
+    }
+    lock.unlock();
+    tick(/*final_tick=*/false);
+    lock.lock();
+  }
+}
+
+bool ProgressReporter::tick(bool final_tick) {
+  MetricsRegistry* reg = MetricsRegistry::armed();
+  if (reg == nullptr) {
+    return false;
+  }
+  const MetricsSnapshot snap = reg->scrape();
+  const std::uint64_t items = snap.counter(Counter::kStreamNodes) +
+                              snap.counter(Counter::kStreamEdges);
+  if (items == last_items_ && !(final_tick && items > 0)) {
+    return false; // nothing moved since the last line — stay quiet
+  }
+  last_items_ = items;
+
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double rate = elapsed_s > 0.0 ? static_cast<double>(items) / elapsed_s
+                                      : 0.0;
+  const std::uint64_t total = snap.gauge(Gauge::kProgressTotalItems);
+  if (total > 0 && rate > 0.0 && items <= total) {
+    const double pct =
+        100.0 * static_cast<double>(items) / static_cast<double>(total);
+    const double eta_s = static_cast<double>(total - items) / rate;
+    std::fprintf(out_,
+                 "progress: %" PRIu64 "/%" PRIu64
+                 " items (%.1f%%) | %.0f items/s | ETA %.1fs\n",
+                 items, total, pct, rate, eta_s);
+  } else {
+    std::fprintf(out_, "progress: %" PRIu64 " items | %.0f items/s\n", items,
+                 rate);
+  }
+  std::fflush(out_);
+  return true;
+}
+
+} // namespace oms::telemetry

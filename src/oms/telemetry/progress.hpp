@@ -1,0 +1,49 @@
+/// \file progress.hpp
+/// \brief --progress: a background stderr heartbeat scraped from the armed
+///        MetricsRegistry (items streamed, rate, ETA). Stdout is never
+///        touched, so pinned CLI output stays byte-identical.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace oms::telemetry {
+
+/// RAII heartbeat thread: while alive, prints one stderr line per interval
+/// with the items streamed so far (stream.nodes + stream.edges), the current
+/// rate, and — when the progress.total_items gauge is set — percent done and
+/// an ETA. Quiet while nothing moves; requires an armed registry to have
+/// anything to report. The destructor stops and joins the thread, so callers
+/// can scope the reporter tightly around the run they want narrated.
+class ProgressReporter {
+public:
+  explicit ProgressReporter(std::FILE* out = stderr,
+                            std::chrono::milliseconds interval =
+                                std::chrono::milliseconds(500));
+  ~ProgressReporter();
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Stop the heartbeat early (idempotent; also called by the destructor).
+  /// Prints a final line if any items were streamed since the last tick.
+  void stop();
+
+private:
+  void run(std::chrono::milliseconds interval);
+  /// One heartbeat: returns true if a line was printed.
+  bool tick(bool final_tick);
+
+  std::FILE* out_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::uint64_t last_items_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  std::thread thread_;
+};
+
+} // namespace oms::telemetry

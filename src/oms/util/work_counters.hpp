@@ -9,7 +9,12 @@
 namespace oms {
 
 /// Plain counters; each worker thread owns one instance and the driver merges
-/// them at the end of a run, so no atomics are needed on the hot path.
+/// them at the end of a run, so no atomics are needed on the hot path. The
+/// merged result is the run's single aggregation product: drivers publish it
+/// once into the telemetry registry (telemetry::publish_work, the
+/// work.* counters of --metrics-out and the METRICS opcode) and surface it
+/// on PartitionArtifact::work for the CLI summary — there is no separate
+/// ad-hoc reporting path.
 struct WorkCounters {
   /// Score evaluations of candidate (sub-)blocks; Theorem 2 predicts
   /// ~ n * sum_i a_i for OMS and ~ n * k for flat Fennel/LDG.

@@ -208,6 +208,41 @@ check_clean_error "negative seed rejected as u64" 2 \
 check_clean_error "no input graph" 2 \
   "$tool" --k 2
 
+# --- Observability flags ----------------------------------------------------
+
+# --metrics-out and --progress must leave stdout byte-identical to a plain
+# run: the heartbeat goes to stderr, the JSON to the file. Between any two
+# runs only the wall-clock timings may differ, so normalize those fields
+# before comparing.
+normalize_times() { sed -E 's/[0-9.e+-]+ s/T s/g' "$1"; }
+"$tool" "$tmpdir/good.graph" --k 2 --from-disk \
+  > "$tmpdir/plain.out" 2> /dev/null
+"$tool" "$tmpdir/good.graph" --k 2 --from-disk \
+  --metrics-out "$tmpdir/metrics.json" --progress \
+  > "$tmpdir/instrumented.out" 2> /dev/null
+if cmp -s <(normalize_times "$tmpdir/plain.out") \
+          <(normalize_times "$tmpdir/instrumented.out"); then
+  echo "ok   [instrumented run stdout byte-identical to plain run]"
+else
+  echo "FAIL [instrumented run stdout byte-identical to plain run]"
+  diff <(normalize_times "$tmpdir/plain.out") \
+       <(normalize_times "$tmpdir/instrumented.out") | sed 's/^/    /'
+  failures=$((failures + 1))
+fi
+if grep -q '"schema":"oms.metrics.v1"' "$tmpdir/metrics.json" &&
+   grep -q '"stream.nodes":3' "$tmpdir/metrics.json"; then
+  echo "ok   [--metrics-out wrote a v1 document with streamed counters]"
+else
+  echo "FAIL [--metrics-out document malformed or counters missing]"
+  sed 's/^/    /' "$tmpdir/metrics.json" 2> /dev/null
+  failures=$((failures + 1))
+fi
+
+# An unwritable metrics path is a clean exit-2 "error:" after the summary.
+check_clean_error "unwritable --metrics-out path" 2 \
+  "$tool" "$tmpdir/good.graph" --k 2 \
+  --metrics-out "$tmpdir/no/such/dir/metrics.json"
+
 if [ "$failures" -ne 0 ]; then
   echo "$failures CLI error-channel check(s) failed"
   exit 1

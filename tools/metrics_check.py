@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Validate an "oms.metrics.v1" document written by --metrics-out.
+
+Structural checks (always): the schema id, that counters/gauges are flat
+string -> non-negative-int maps, and that every histogram carries exactly 40
+buckets whose sum equals its count. Content checks (per invocation):
+--nonzero NAME (repeatable) asserts a specific counter, gauge, or
+histogram-count is > 0 — CI uses it to prove a partition run actually
+streamed through the instrumented paths, not just that the writer produced
+well-formed JSON.
+
+Exit codes: 0 = valid, 1 = validation failure, 2 = cannot read the file.
+
+Usage:
+  metrics_check.py FILE [--nonzero stream.nodes] [--nonzero stage.parse_ns]
+"""
+
+import argparse
+import json
+import sys
+
+BUCKETS = 40
+
+
+def fail(msg):
+    print(f"metrics_check: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_flat_map(doc, section):
+    table = doc.get(section)
+    if not isinstance(table, dict) or not table:
+        fail(f'"{section}" is missing or not a non-empty object')
+    for name, value in table.items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            fail(f'{section}["{name}"] = {value!r} is not a non-negative int')
+    return table
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="metrics JSON written by --metrics-out")
+    parser.add_argument("--nonzero", action="append", default=[],
+                        metavar="NAME",
+                        help="assert this counter/gauge/histogram-count > 0 "
+                             "(repeatable)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.file) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"metrics_check: cannot read '{args.file}': {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    if doc.get("schema") != "oms.metrics.v1":
+        fail(f'schema is {doc.get("schema")!r}, want "oms.metrics.v1"')
+    counters = check_flat_map(doc, "counters")
+    gauges = check_flat_map(doc, "gauges")
+
+    histograms = doc.get("histograms")
+    if not isinstance(histograms, dict) or not histograms:
+        fail('"histograms" is missing or not a non-empty object')
+    for name, hist in histograms.items():
+        if not isinstance(hist, dict):
+            fail(f'histogram "{name}" is not an object')
+        count, total, buckets = (hist.get("count"), hist.get("sum"),
+                                 hist.get("buckets"))
+        if not isinstance(count, int) or count < 0:
+            fail(f'histogram "{name}" count {count!r} invalid')
+        if not isinstance(total, int) or total < 0:
+            fail(f'histogram "{name}" sum {total!r} invalid')
+        if (not isinstance(buckets, list) or len(buckets) != BUCKETS or
+                any(not isinstance(b, int) or b < 0 for b in buckets)):
+            fail(f'histogram "{name}" needs exactly {BUCKETS} '
+                 f'non-negative int buckets')
+        if sum(buckets) != count:
+            fail(f'histogram "{name}": bucket sum {sum(buckets)} != '
+                 f'count {count}')
+
+    lookup = dict(counters)
+    lookup.update(gauges)
+    lookup.update({name: hist["count"] for name, hist in histograms.items()})
+    for name in args.nonzero:
+        if name not in lookup:
+            fail(f'--nonzero {name}: no such metric in the document')
+        if lookup[name] == 0:
+            fail(f'--nonzero {name}: metric is zero')
+
+    checked = f"{len(counters)} counters, {len(gauges)} gauges, " \
+              f"{len(histograms)} histograms"
+    print(f"metrics_check: OK ({checked}"
+          + (f"; nonzero: {', '.join(args.nonzero)}" if args.nonzero else "")
+          + ")")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

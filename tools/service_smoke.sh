@@ -3,10 +3,12 @@
 # daemon. Phase 1 partitions a generated ring on startup and serves a Unix
 # socket; the python client checks WHERE/BATCH/STATS answers, an
 # out-of-range id (typed kOutOfRange reply), a deliberately malformed frame
-# (typed kBadFrame reply — the daemon must keep serving afterwards), takes a
-# SNAPSHOT, and sends SHUTDOWN; the daemon must then exit 0 on its own.
-# Phase 2 restarts from the snapshot over the stdin/stdout transport and must
-# answer the same WHERE queries identically.
+# (typed kBadFrame reply — the daemon must keep serving afterwards), asks for
+# METRICS mid-session (per-opcode counters and a populated request-latency
+# histogram), takes a SNAPSHOT, and sends SHUTDOWN; the daemon must then exit
+# 0 on its own. Phase 2 restarts from the snapshot over the stdin/stdout
+# transport and must answer the same WHERE queries identically, with METRICS
+# served on that transport too.
 # Usage: service_smoke.sh <path-to-oms_serve>
 set -u
 
@@ -33,7 +35,7 @@ failures=0
 serve_pid=$!
 
 python3 - "$socket" "$snapshot" > "$tmpdir/socket_answers.txt" <<'EOF'
-import socket, struct, sys, time
+import json, socket, struct, sys, time
 
 sock_path, snap_path = sys.argv[1], sys.argv[2]
 OK, BAD_FRAME, OUT_OF_RANGE = 0, 1, 3
@@ -104,6 +106,26 @@ expect("STATS items", items, 2000)
 requests = struct.unpack("<Q", payload[32:40])[0]
 expect("STATS requests served", requests, 14)
 
+# METRICS mid-session: the live telemetry registry over the wire. Every
+# request above is visible in the per-opcode counters (WHERE = 10 answered +
+# 1 out-of-range; the malformed frame lands in .invalid) and in a non-empty
+# request-latency histogram. The METRICS request counts itself.
+status, payload = roundtrip(struct.pack("<I", 7))
+expect("METRICS status", status, OK)
+(jlen,) = struct.unpack_from("<I", payload, 0)
+metrics = json.loads(payload[4:4 + jlen].decode())
+expect("METRICS schema", metrics["schema"], "oms.metrics.v1")
+counters = metrics["counters"]
+expect("METRICS service.req.where", counters["service.req.where"], 11)
+expect("METRICS service.req.batch", counters["service.req.batch"], 1)
+expect("METRICS service.req.stats", counters["service.req.stats"], 1)
+expect("METRICS service.req.metrics", counters["service.req.metrics"], 1)
+if counters["service.req.invalid"] < 1:
+    sys.exit("METRICS: the malformed frame was not counted as invalid")
+hist = metrics["histograms"]["service.request_ns"]
+if hist["count"] < 14 or sum(hist["buckets"]) != hist["count"]:
+    sys.exit(f"METRICS: implausible request latency histogram: {hist}")
+
 # SNAPSHOT, then a clean SHUTDOWN ack.
 path = snap_path.encode()
 status, _ = roundtrip(struct.pack("<II", 5, len(path)) + path)
@@ -128,7 +150,7 @@ if [ "$client_rc" -eq 0 ]; then
     sed 's/^/  serve: /' "$tmpdir/serve.log"
     failures=$((failures + 1))
   else
-    echo "ok   [socket session: lookups, typed errors, snapshot, shutdown]"
+    echo "ok   [socket session: lookups, typed errors, live metrics, snapshot, shutdown]"
   fi
 fi
 
@@ -140,6 +162,8 @@ out = b""
 for v in range(10):
     body = struct.pack("<IQ", 1, v)
     out += struct.pack("<I", len(body)) + body
+body = struct.pack("<I", 7)  # METRICS (stdio transport serves it too)
+out += struct.pack("<I", len(body)) + body
 body = struct.pack("<I", 6)  # SHUTDOWN
 out += struct.pack("<I", len(body)) + body
 sys.stdout.buffer.write(out)
@@ -148,9 +172,9 @@ EOF
 if "$serve" --artifact "$snapshot" < "$tmpdir/requests.bin" \
      > "$tmpdir/replies.bin" 2>> "$tmpdir/serve.log"; then
   python3 - "$tmpdir/replies.bin" <<'EOF' > "$tmpdir/restored_answers.txt"
-import struct, sys
+import json, struct, sys
 data = open(sys.argv[1], "rb").read()
-blocks, off = [], 0
+blocks, off, saw_metrics = [], 0, False
 while off < len(data):
     (length,) = struct.unpack_from("<I", data, off)
     off += 4
@@ -161,6 +185,16 @@ while off < len(data):
         sys.exit(f"restored daemon replied status {status}")
     if len(reply) == 8:  # WHERE replies carry a block; the SHUTDOWN ack is bare
         blocks.append(struct.unpack_from("<I", reply, 4)[0])
+    elif len(reply) > 8:  # the METRICS reply: status + string json
+        (jlen,) = struct.unpack_from("<I", reply, 4)
+        metrics = json.loads(reply[8:8 + jlen].decode())
+        if metrics["schema"] != "oms.metrics.v1":
+            sys.exit("restored METRICS: wrong schema " + metrics["schema"])
+        if metrics["counters"]["service.req.where"] != 10:
+            sys.exit("restored METRICS: WHERE count != 10")
+        saw_metrics = True
+if not saw_metrics:
+    sys.exit("restored session never answered METRICS")
 print(" ".join(str(b) for b in blocks))
 EOF
   if cmp -s <(head -n 1 "$tmpdir/socket_answers.txt") "$tmpdir/restored_answers.txt"; then
