@@ -1,0 +1,118 @@
+/// \file oms_ping.cpp
+/// \brief Health check for a running oms_serve daemon, built on the
+///        self-healing ServiceClient.
+///
+/// Usage:
+///   oms_ping --socket PATH [--where ID] [--timeout MS] [--attempts N]
+///
+/// Sends STATS (and optionally one WHERE probe) through ServiceClient — so
+/// connect/request timeouts, bounded exponential backoff with jitter, and
+/// automatic reconnect on torn connections all apply — and prints a one-line
+/// summary. Deployment probes call this as their liveness/readiness command.
+///
+/// Exit codes: 0 the daemon answered, 1 it did not (unreachable, overloaded
+/// past the retry budget, shutting down, or a typed error), 2 usage errors.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "oms/oms.hpp"
+
+namespace {
+
+[[noreturn]] void usage(int exit_code = 2) {
+  (exit_code == 0 ? std::cout : std::cerr)
+      << "usage: oms_ping --socket PATH [--where ID] [--timeout MS] "
+         "[--attempts N]\n"
+         "\n"
+         "Pings a running oms_serve daemon: STATS, plus an optional WHERE\n"
+         "probe. Retries with bounded exponential backoff and reconnects\n"
+         "through torn connections before giving up.\n"
+         "\n"
+         "  --socket PATH  the daemon's Unix-domain socket (required)\n"
+         "  --where ID     additionally look up one id and print its block\n"
+         "  --timeout MS   connect and per-request deadline (default 2000)\n"
+         "  --attempts N   total tries per request (default 4)\n";
+  std::exit(exit_code);
+}
+
+[[nodiscard]] std::uint64_t parse_u64_arg(const std::string& flag,
+                                          const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(text, &used);
+    if (used == text.size()) {
+      return value;
+    }
+  } catch (const std::exception&) {
+  }
+  std::cerr << "error: " << flag << " expects a non-negative integer, got '"
+            << text << "'\n";
+  usage();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  bool probe_where = false;
+  std::uint64_t where_id = 0;
+  oms::service::ClientConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << flag << " expects a value\n";
+        usage();
+      }
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      usage(0);
+    } else if (flag == "--socket") {
+      socket_path = value();
+    } else if (flag == "--where") {
+      probe_where = true;
+      where_id = parse_u64_arg("--where", value());
+    } else if (flag == "--timeout") {
+      const auto ms = static_cast<int>(parse_u64_arg("--timeout", value()));
+      config.connect_timeout_ms = ms;
+      config.request_timeout_ms = ms;
+    } else if (flag == "--attempts") {
+      config.max_attempts =
+          static_cast<int>(parse_u64_arg("--attempts", value()));
+      if (config.max_attempts < 1) {
+        std::cerr << "error: --attempts expects an integer >= 1\n";
+        usage();
+      }
+    } else {
+      std::cerr << "error: unknown flag '" << flag << "'\n";
+      usage();
+    }
+  }
+  if (socket_path.empty()) {
+    std::cerr << "error: --socket is required\n";
+    usage();
+  }
+
+  try {
+    oms::service::ServiceClient client(socket_path, config);
+    const oms::service::ClientStats stats = client.stats();
+    std::cout << "ok: " << stats.items << " "
+              << (stats.edge_partition ? "edges" : "nodes") << " in k = "
+              << stats.k << " blocks (algo " << stats.algo << "), "
+              << stats.requests_served << " request(s) served";
+    if (probe_where) {
+      std::cout << "; where(" << where_id << ") = " << client.where(where_id);
+    }
+    if (client.connects() > 1) {
+      std::cout << " [healed " << client.connects() - 1
+                << " torn connection(s)]";
+    }
+    std::cout << "\n";
+    return 0;
+  } catch (const oms::IoError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -21,8 +21,17 @@
 /// additionally writes the final registry as JSON at shutdown; --progress
 /// narrates the build phase on stderr.
 ///
-/// Exit codes match partition_tool: 0 clean shutdown, 1 on IoError (bad
-/// graph content, unreadable artifact), 2 on usage errors.
+/// Production hardening: the socket transport admits at most --max-conns
+/// concurrent sessions (excess connections get a typed kOverloaded reply),
+/// --idle-timeout MS reclaims workers from stalled or dead peers, SIGPIPE is
+/// ignored (a client hanging up mid-reply costs one connection, not the
+/// daemon), and SIGTERM/SIGINT drain gracefully: stop admitting, answer
+/// in-flight requests, reply kShuttingDown to anything new, exit 0.
+///
+/// Exit codes match partition_tool: 0 clean shutdown or drain, 1 on IoError
+/// (bad graph content, unreadable artifact, live socket path), 2 on usage
+/// errors.
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -38,29 +47,69 @@ namespace {
          "       oms_serve --artifact FILE [--socket PATH]\n"
          "\n"
          "Builds (or restores) a partition artifact, then answers\n"
-         "WHERE/RANK/BATCH/STATS/SNAPSHOT/SHUTDOWN frames until SHUTDOWN.\n"
-         "Partitioning flags are those of partition_tool (--k, --algo,\n"
-         "--hierarchy, --from-disk, --pipeline, ...).\n"
+         "WHERE/RANK/BATCH/STATS/SNAPSHOT/SHUTDOWN frames until SHUTDOWN\n"
+         "or a SIGTERM/SIGINT drain. Partitioning flags are those of\n"
+         "partition_tool (--k, --algo, --hierarchy, --from-disk, ...).\n"
          "\n"
          "  --artifact FILE  serve a snapshot instead of partitioning\n"
          "  --socket PATH    listen on a Unix-domain socket (default:\n"
          "                   one session on stdin/stdout)\n"
+         "  --max-conns N    concurrent connection cap on the socket\n"
+         "                   transport; excess connections are shed with a\n"
+         "                   typed kOverloaded reply (default 64)\n"
+         "  --idle-timeout MS  close a connection that makes no progress\n"
+         "                     for MS milliseconds (default 0 = never)\n"
          "  --metrics-out FILE  write the telemetry registry as JSON at\n"
          "                      shutdown (METRICS serves it live either way)\n"
          "  --progress          stderr heartbeat while building the artifact\n";
   std::exit(exit_code);
 }
 
-struct ServeOptions {
+struct ServeCliOptions {
   std::string artifact; ///< restore this snapshot instead of partitioning
   std::string socket;   ///< empty = stdin/stdout session
+  int max_conns = 64;
+  int idle_timeout_ms = 0;
 };
+
+/// Parse a non-negative integer flag value; exits 2 on garbage.
+[[nodiscard]] int parse_count(const std::string& flag, const std::string& text,
+                              int min_value) {
+  try {
+    std::size_t used = 0;
+    const int value = std::stoi(text, &used);
+    if (used == text.size() && value >= min_value) {
+      return value;
+    }
+  } catch (const std::exception&) {
+  }
+  std::cerr << "error: " << flag << " expects an integer >= " << min_value
+            << ", got '" << text << "'\n";
+  usage();
+}
+
+/// SIGTERM/SIGINT: request a graceful drain. Async-signal-safe (one relaxed
+/// atomic store); the serve loops notice within one poll slice.
+void on_drain_signal(int) { oms::service::request_drain(); }
+
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = on_drain_signal; // NOLINT: union member per sigaction(2)
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0; // no SA_RESTART: blocking accept/poll must wake for drain
+  (void)::sigaction(SIGTERM, &sa, nullptr);
+  (void)::sigaction(SIGINT, &sa, nullptr);
+  // A client that hangs up mid-reply must cost one EPIPE write error, never
+  // the process: socket writes already use MSG_NOSIGNAL, this covers the
+  // stdio transport's plain write(2).
+  (void)std::signal(SIGPIPE, SIG_IGN);
+}
 
 } // namespace
 
 int main(int argc, char** argv) {
   oms::cli::CliRequest cli;
-  ServeOptions serve;
+  ServeCliOptions serve;
   try {
     cli = oms::cli::parse_request(
         argc, argv,
@@ -71,6 +120,14 @@ int main(int argc, char** argv) {
           }
           if (flag == "--socket") {
             serve.socket = value();
+            return true;
+          }
+          if (flag == "--max-conns") {
+            serve.max_conns = parse_count("--max-conns", value(), 1);
+            return true;
+          }
+          if (flag == "--idle-timeout") {
+            serve.idle_timeout_ms = parse_count("--idle-timeout", value(), 0);
             return true;
           }
           return false;
@@ -123,15 +180,26 @@ int main(int argc, char** argv) {
               << artifact.k << " blocks (algo " << artifact.algo << ")\n";
 
     const oms::service::PartitionService service(std::move(artifact));
+    install_signal_handlers();
     if (!serve.socket.empty()) {
-      std::cerr << "listening on '" << serve.socket << "'\n";
-      oms::service::serve_unix_socket(service, serve.socket);
+      oms::service::ServeOptions transport;
+      transport.max_conns = serve.max_conns;
+      transport.idle_timeout_ms = serve.idle_timeout_ms;
+      std::cerr << "listening on '" << serve.socket << "' (max "
+                << transport.max_conns << " connection(s)";
+      if (transport.idle_timeout_ms > 0) {
+        std::cerr << ", idle timeout " << transport.idle_timeout_ms << " ms";
+      }
+      std::cerr << ")\n";
+      oms::service::serve_unix_socket(service, serve.socket, transport);
     } else {
       std::cerr << "serving one session on stdin/stdout\n";
-      (void)oms::service::serve_stream(service, 0, 1);
+      oms::service::SessionOptions session;
+      session.idle_timeout_ms = serve.idle_timeout_ms;
+      (void)oms::service::serve_stream(service, 0, 1, session);
     }
-    std::cerr << "shutdown after " << service.requests_served()
-              << " request(s)\n";
+    std::cerr << (oms::service::drain_requested() ? "drained" : "shutdown")
+              << " after " << service.requests_served() << " request(s)\n";
     if (!cli.metrics_out.empty()) {
       std::ofstream out(cli.metrics_out);
       out << registry.scrape().to_json() << '\n';

@@ -16,6 +16,7 @@
 #include "oms/cli/parse_request.hpp"      // flags -> PartitionRequest + UsageError
 #include "oms/graph/io.hpp"               // read_metis / write_metis / binary cache
 #include "oms/partition/metrics.hpp"      // edge_cut / imbalance / mapping_cost / ...
+#include "oms/service/client.hpp"         // ServiceClient: self-healing daemon client
 #include "oms/service/protocol.hpp"       // the oms_serve wire protocol
 #include "oms/service/service.hpp"        // PartitionService + serve loops
 #include "oms/telemetry/metrics.hpp"      // MetricsRegistry / TraceSpan / hooks

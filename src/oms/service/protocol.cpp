@@ -13,6 +13,20 @@ namespace {
 
 } // namespace
 
+const char* status_name(Status status) noexcept {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kBadFrame: return "bad-frame";
+    case Status::kBadOp: return "bad-op";
+    case Status::kOutOfRange: return "out-of-range";
+    case Status::kTooLarge: return "too-large";
+    case Status::kIo: return "io";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kShuttingDown: return "shutting-down";
+  }
+  return "unknown";
+}
+
 std::vector<char> frame(std::span<const char> body) {
   CheckpointWriter w;
   w.put_u32(static_cast<std::uint32_t>(body.size()));

@@ -29,6 +29,18 @@
 /// single out-of-range id -> kOutOfRange, a body length over kMaxFrameBytes
 /// -> kTooLarge (after which the connection closes — an oversized length
 /// prefix cannot be resynchronized), a failed snapshot write -> kIo.
+///
+/// Two statuses are *admission verdicts* rather than answers to a request,
+/// and both are followed by the server closing the connection:
+///   kOverloaded   — the daemon is at --max-conns; sent once, unsolicited,
+///                   immediately after accept. Retry later (ServiceClient
+///                   backs off and reconnects automatically).
+///   kShuttingDown — the daemon is draining (SIGTERM/SIGINT or a SHUTDOWN
+///                   frame elsewhere): sent to connections accepted during
+///                   the drain and to any frame arriving on an established
+///                   session after the drain began. In-flight requests are
+///                   still answered normally. Do not retry against this
+///                   socket; the daemon exits once in-flight work finishes.
 #pragma once
 
 #include <cstdint>
@@ -54,12 +66,18 @@ enum class Op : std::uint32_t {
 
 enum class Status : std::uint32_t {
   kOk = 0,
-  kBadFrame = 1,   ///< body truncated, trailing bytes, or too short
-  kBadOp = 2,      ///< unknown opcode
-  kOutOfRange = 3, ///< kWhere/kRank id outside the artifact
-  kTooLarge = 4,   ///< frame body length over kMaxFrameBytes
-  kIo = 5,         ///< snapshot write failed
+  kBadFrame = 1,     ///< body truncated, trailing bytes, or too short
+  kBadOp = 2,        ///< unknown opcode
+  kOutOfRange = 3,   ///< kWhere/kRank id outside the artifact
+  kTooLarge = 4,     ///< frame body length over kMaxFrameBytes
+  kIo = 5,           ///< snapshot write failed
+  kOverloaded = 6,   ///< shed at accept: the daemon is at --max-conns (retry)
+  kShuttingDown = 7, ///< the daemon is draining; connection closes (no retry)
 };
+
+/// Stable lower-case name of a status ("ok", "overloaded", ...) for client
+/// diagnostics and logs; "unknown" for values outside the enum.
+[[nodiscard]] const char* status_name(Status status) noexcept;
 
 /// Per-item sentinel in kBatch replies for ids outside the artifact.
 inline constexpr std::uint32_t kInvalidEntry = 0xffffffffu;

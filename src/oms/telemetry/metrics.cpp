@@ -44,11 +44,16 @@ constexpr const char* kCounterNames[kNumCounters] = {
     "service.req.shutdown",
     "service.req.metrics",
     "service.req.invalid",
+    "service.conns_accepted",
+    "service.conns_rejected",
+    "service.timeouts",
+    "service.drains",
 };
 
 constexpr const char* kGaugeNames[kNumGauges] = {
     "progress.total_items",
     "pipeline.queue_depth_max",
+    "service.conns_active",
 };
 
 constexpr const char* kHistNames[kNumHists] = {

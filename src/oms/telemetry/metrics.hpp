@@ -63,6 +63,10 @@ enum class Counter : std::uint16_t {
   kServiceReqShutdown,
   kServiceReqMetrics,
   kServiceReqInvalid,    ///< ...plus malformed frames / unknown opcodes
+  kServiceConnsAccepted, ///< connections admitted to a worker slot
+  kServiceConnsRejected, ///< connections shed with kOverloaded at accept
+  kServiceTimeouts,      ///< connections closed by the idle/read deadline
+  kServiceDrains,        ///< kShuttingDown replies sent while draining
   kCount
 };
 
@@ -70,6 +74,7 @@ enum class Counter : std::uint16_t {
 enum class Gauge : std::uint16_t {
   kProgressTotalItems = 0, ///< announced stream size (0 = unknown), for ETA
   kPipelineQueueDepthMax,  ///< high watermark of the filled-batch queue
+  kServiceConnsActive,     ///< connections currently owning a worker slot
   kCount
 };
 

@@ -14,9 +14,11 @@ namespace {
 constexpr std::size_t kNumSites = static_cast<std::size_t>(FaultSite::kCount);
 
 constexpr const char* kSiteNames[kNumSites] = {
-    "read.transient", "read.error",    "read.short",
-    "read.corrupt",   "queue.delay",   "fill.delay",
-    "consume.throw",  "thread.spawn",  "checkpoint.die",
+    "read.transient", "read.error",   "read.short",
+    "read.corrupt",   "queue.delay",  "fill.delay",
+    "consume.throw",  "thread.spawn", "checkpoint.die",
+    "svc.accept",     "svc.read",     "svc.write",
+    "svc.slow",
 };
 
 /// Backing storage for the armed plan. arm() copies into this slot so the
@@ -110,7 +112,8 @@ FaultPlan FaultPlan::seeded(std::uint64_t seed) {
   for (std::size_t f = 0; f < num_faults; ++f) {
     // kCheckpointDie is excluded: a seeded sweep has no resume harness, so a
     // deliberate post-checkpoint crash would just look like a failure. The
-    // checkpoint tests schedule it explicitly instead.
+    // checkpoint tests schedule it explicitly instead. The svc.* sites live
+    // past it and are drawn by seeded_service only.
     const auto site = static_cast<std::size_t>(
         rng.next_below(static_cast<std::uint64_t>(FaultSite::kCheckpointDie)));
     Entry& entry = plan.entries_[site];
@@ -118,6 +121,25 @@ FaultPlan FaultPlan::seeded(std::uint64_t seed) {
     entry.trigger = 1 + rng.next_below(40);
     // One site in three keeps firing periodically, to stress repeated faults.
     entry.period = rng.next_below(3) == 0 ? 1 + rng.next_below(8) : 0;
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::seeded_service(std::uint64_t seed) {
+  FaultPlan plan;
+  Rng rng(hash_combine(seed, 0x737663ULL)); // "svc"
+  constexpr auto kFirst = static_cast<std::size_t>(FaultSite::kSvcAccept);
+  constexpr auto kLast = static_cast<std::size_t>(FaultSite::kSvcSlow);
+  const std::size_t num_faults = 1 + rng.next_below(3);
+  for (std::size_t f = 0; f < num_faults; ++f) {
+    const std::size_t site = kFirst + static_cast<std::size_t>(
+                                          rng.next_below(kLast - kFirst + 1));
+    Entry& entry = plan.entries_[site];
+    entry.active = true;
+    // Service sessions are short; keep triggers early so the schedule
+    // actually fires within a sweep's request budget.
+    entry.trigger = 1 + rng.next_below(12);
+    entry.period = rng.next_below(3) == 0 ? 1 + rng.next_below(4) : 0;
   }
   return plan;
 }

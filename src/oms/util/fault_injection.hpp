@@ -34,6 +34,10 @@ enum class FaultSite : std::uint8_t {
   kConsumeThrow,      ///< pipeline consumer: throws before consuming one batch
   kThreadSpawn,       ///< pipeline: spawning the producer thread fails
   kCheckpointDie,     ///< checkpoint driver: crash right after a snapshot landed
+  kSvcAccept,         ///< service: one accepted connection dies before serving
+  kSvcRead,           ///< service: one connection read fails hard (torn client)
+  kSvcWrite,          ///< service: one reply write fails hard (client hung up)
+  kSvcSlow,           ///< service: one frame read stalls (slow-loris jitter)
   kCount
 };
 
@@ -52,7 +56,14 @@ public:
 
   /// Derive a small pseudo-random schedule (1-3 sites, early trigger counts)
   /// deterministically from \p seed — the unit the chaos sweeps iterate over.
+  /// Draws only from the streaming sites (everything before kCheckpointDie);
+  /// the service sweep uses seeded_service instead.
   [[nodiscard]] static FaultPlan seeded(std::uint64_t seed);
+
+  /// Like seeded(), but over the transport sites of the service runtime
+  /// (svc.accept / svc.read / svc.write / svc.slow) — the unit the service
+  /// chaos sweep iterates over.
+  [[nodiscard]] static FaultPlan seeded_service(std::uint64_t seed);
 
   /// Install \p plan as the process-global armed plan (replacing any previous
   /// one) / remove it. See the header comment for the threading contract.

@@ -1,0 +1,365 @@
+/// \file test_chaos_service.cpp
+/// \brief Chaos suite for the hardened service runtime: under any seeded
+///        svc.* fault schedule a session must end in a typed reply or a
+///        clean close — never garbage, a hang, or a dead daemon — and the
+///        self-healing ServiceClient must ride through an injected torn
+///        connection with bit-identical answers.
+///
+/// The targeted cases pin each injection site's exact contract (an accept
+/// death costs one connection, a torn read or write costs one session, a
+/// slow-loris stall ends in the idle-deadline close); the sweep arms
+/// FaultPlan::seeded_service(s) for a range of seeds and checks the global
+/// contract plus daemon survival after every schedule.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "oms/oms.hpp"
+
+#include "oms/graph/generators.hpp"
+#include "oms/stream/checkpoint.hpp"
+#include "oms/util/fault_injection.hpp"
+#include "tests/test_support.hpp"
+
+namespace oms::service {
+namespace {
+
+/// Client-side frame write with MSG_NOSIGNAL: a daemon-side close raced by
+/// an injected fault must cost a failed send, never SIGPIPE the test.
+[[nodiscard]] bool send_frame(int fd, const std::vector<char>& body) {
+  const std::vector<char> framed = frame(body);
+  const char* cur = framed.data();
+  std::size_t left = framed.size();
+  while (left > 0) {
+    const ssize_t put = ::send(fd, cur, left, MSG_NOSIGNAL);
+    if (put <= 0) {
+      return false;
+    }
+    cur += put;
+    left -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+[[nodiscard]] bool read_exactly(int fd, void* out, std::size_t bytes) {
+  auto* cur = static_cast<char*>(out);
+  while (bytes > 0) {
+    const ssize_t got = ::read(fd, cur, bytes);
+    if (got <= 0) {
+      return false;
+    }
+    cur += got;
+    bytes -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+/// One framed reply body; empty on EOF (the clean-close arm of the contract).
+[[nodiscard]] std::vector<char> read_reply(int fd) {
+  std::uint32_t len = 0;
+  if (!read_exactly(fd, &len, sizeof len)) {
+    return {};
+  }
+  std::vector<char> body(len);
+  if (len > 0 && !read_exactly(fd, body.data(), len)) {
+    return {};
+  }
+  return body;
+}
+
+[[nodiscard]] Status status_of(const std::vector<char>& body) {
+  CheckpointReader r(body);
+  return static_cast<Status>(r.get_u32());
+}
+
+[[nodiscard]] int connect_to(const std::string& socket_path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      return fd;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ADD_FAILURE() << "could not connect to " << socket_path;
+  ::close(fd);
+  return -1;
+}
+
+/// Disarm first (an injected fault must not tear the shutdown session
+/// itself), then send kShutdown until acknowledged.
+void shutdown_daemon(const std::string& path) {
+  FaultPlan::disarm();
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const int fd = connect_to(path);
+    if (fd < 0) {
+      return;
+    }
+    std::vector<char> reply;
+    if (send_frame(fd, encode_shutdown())) {
+      reply = read_reply(fd);
+    }
+    ::close(fd);
+    if (!reply.empty() && status_of(reply) == Status::kOk) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  ADD_FAILURE() << "could not shut the daemon down at " << path;
+}
+
+/// One artifact shared by the whole suite; every test disarms on entry and
+/// exit so a failing case cannot poison its neighbors through the
+/// process-global plan or drain latch.
+class ChaosServiceTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    PartitionRequest req;
+    req.algo = "oms";
+    req.k = 8;
+    service_ = new PartitionService(
+        Partitioner().partition(gen::barabasi_albert(1500, 4, 13), req));
+  }
+
+  static void TearDownTestSuite() {
+    delete service_;
+    service_ = nullptr;
+  }
+
+  void SetUp() override {
+    FaultPlan::disarm();
+    reset_drain();
+  }
+  void TearDown() override {
+    FaultPlan::disarm();
+    reset_drain();
+  }
+
+  /// A fresh raw session must get the golden answer — daemon survival.
+  static void expect_daemon_answers(const std::string& path,
+                                    const std::string& label) {
+    const int fd = connect_to(path);
+    ASSERT_GE(fd, 0) << label;
+    ASSERT_TRUE(send_frame(fd, encode_where(5))) << label;
+    const std::vector<char> reply = read_reply(fd);
+    ASSERT_FALSE(reply.empty()) << label;
+    ASSERT_EQ(status_of(reply), Status::kOk) << label;
+    CheckpointReader r(reply);
+    (void)r.get_u32();
+    EXPECT_EQ(r.get_u32(),
+              static_cast<std::uint32_t>(service_->artifact().where(5)))
+        << label;
+    ::close(fd);
+  }
+
+  static PartitionService* service_;
+};
+
+PartitionService* ChaosServiceTest::service_ = nullptr;
+
+// --- targeted site contracts ------------------------------------------------
+
+TEST_F(ChaosServiceTest, AcceptDeathCostsOneConnectionNotTheDaemon) {
+  const std::string path = ::testing::TempDir() + "/oms_chaos_accept.sock";
+  FaultPlan::arm(FaultPlan::parse("svc.accept@1"));
+  std::thread server([&] { serve_unix_socket(*service_, path); });
+
+  const int doomed = connect_to(path);
+  ASSERT_GE(doomed, 0);
+  EXPECT_TRUE(read_reply(doomed).empty())
+      << "the injected accept death must close silently, not reply";
+  ::close(doomed);
+
+  expect_daemon_answers(path, "after svc.accept@1");
+  shutdown_daemon(path);
+  server.join();
+}
+
+TEST_F(ChaosServiceTest, TornReadCostsOneSessionNotTheDaemon) {
+  const std::string path = ::testing::TempDir() + "/oms_chaos_read.sock";
+  FaultPlan::arm(FaultPlan::parse("svc.read@1"));
+  std::thread server([&] { serve_unix_socket(*service_, path); });
+
+  const int doomed = connect_to(path);
+  ASSERT_GE(doomed, 0);
+  ASSERT_TRUE(send_frame(doomed, encode_where(1)));
+  EXPECT_TRUE(read_reply(doomed).empty())
+      << "the torn read must end the session without a reply";
+  ::close(doomed);
+
+  expect_daemon_answers(path, "after svc.read@1");
+  shutdown_daemon(path);
+  server.join();
+}
+
+TEST_F(ChaosServiceTest, TornWriteCostsOneSessionNotTheDaemon) {
+  const std::string path = ::testing::TempDir() + "/oms_chaos_write.sock";
+  FaultPlan::arm(FaultPlan::parse("svc.write@1"));
+  std::thread server([&] { serve_unix_socket(*service_, path); });
+
+  const int doomed = connect_to(path);
+  ASSERT_GE(doomed, 0);
+  ASSERT_TRUE(send_frame(doomed, encode_where(1)));
+  EXPECT_TRUE(read_reply(doomed).empty())
+      << "the dropped reply must end the session cleanly";
+  ::close(doomed);
+
+  expect_daemon_answers(path, "after svc.write@1");
+  shutdown_daemon(path);
+  server.join();
+}
+
+TEST_F(ChaosServiceTest, SlowLorisStallEndsInTheIdleDeadlineClose) {
+  FaultPlan::arm(FaultPlan::parse("svc.slow@1"));
+  SessionOptions options;
+  options.idle_timeout_ms = 50;
+  int in_pipe[2];
+  int out_pipe[2];
+  ASSERT_EQ(::pipe(in_pipe), 0);
+  ASSERT_EQ(::pipe(out_pipe), 0);
+  const auto start = std::chrono::steady_clock::now();
+  // The injected stall must end in the same clean timeout close a real
+  // stalled peer gets — a bounded wait, not a parked worker.
+  EXPECT_FALSE(serve_stream(*service_, in_pipe[0], out_pipe[1], options));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), options.idle_timeout_ms - 10);
+  ::close(in_pipe[0]);
+  ::close(in_pipe[1]);
+  ::close(out_pipe[0]);
+  ::close(out_pipe[1]);
+}
+
+TEST_F(ChaosServiceTest, SlowLorisStallWithoutDeadlineIsOnlyJitter) {
+  FaultPlan::arm(FaultPlan::parse("svc.slow@1"));
+  int in_pipe[2];
+  int out_pipe[2];
+  ASSERT_EQ(::pipe(in_pipe), 0);
+  ASSERT_EQ(::pipe(out_pipe), 0);
+  const std::vector<char> framed = frame(encode_where(4));
+  ASSERT_EQ(::write(in_pipe[1], framed.data(), framed.size()),
+            static_cast<ssize_t>(framed.size()));
+  ::close(in_pipe[1]);
+  // No deadline configured: the stall is pure latency, the answer still
+  // arrives and is still correct.
+  EXPECT_FALSE(serve_stream(*service_, in_pipe[0], out_pipe[1]));
+  const std::vector<char> reply = read_reply(out_pipe[0]);
+  ASSERT_EQ(status_of(reply), Status::kOk);
+  CheckpointReader r(reply);
+  (void)r.get_u32();
+  EXPECT_EQ(r.get_u32(),
+            static_cast<std::uint32_t>(service_->artifact().where(4)));
+  ::close(in_pipe[0]);
+  ::close(out_pipe[0]);
+  ::close(out_pipe[1]);
+}
+
+// --- the seeded sweep -------------------------------------------------------
+
+TEST_F(ChaosServiceTest, SeededFaultSweepKeepsTheDaemonAnswering) {
+  for (std::uint64_t draw = 0; draw < 12; ++draw) {
+    const std::uint64_t seed = oms::testing::draw_seed(draw);
+    FaultPlan plan = FaultPlan::seeded_service(seed);
+    std::string label = "[";
+    label += plan.describe();
+    label += "] (seed ";
+    label += std::to_string(seed);
+    label += ")";
+    std::string path = ::testing::TempDir();
+    path += "/oms_chaos_sweep_";
+    path += std::to_string(draw);
+    path += ".sock";
+    FaultPlan::arm(plan);
+    ServeOptions options;
+    options.idle_timeout_ms = 100; // svc.slow must end in the timeout close
+    std::thread server([&] { serve_unix_socket(*service_, path, options); });
+
+    // Three well-formed sessions: under any schedule every reply is either
+    // the correct typed answer or the connection closed cleanly — never
+    // garbage, never a hang.
+    for (int session = 0; session < 3; ++session) {
+      const int fd = connect_to(path);
+      ASSERT_GE(fd, 0) << label;
+      for (std::uint64_t id = 0; id < 4; ++id) {
+        if (!send_frame(fd, encode_where(id))) {
+          break; // torn by an injected fault: the clean-close arm
+        }
+        const std::vector<char> reply = read_reply(fd);
+        if (reply.empty()) {
+          break; // clean close: acceptable under injected faults
+        }
+        ASSERT_EQ(status_of(reply), Status::kOk)
+            << label << " session " << session << " id " << id;
+        CheckpointReader r(reply);
+        (void)r.get_u32();
+        EXPECT_EQ(r.get_u32(),
+                  static_cast<std::uint32_t>(service_->artifact().where(id)))
+            << label << " session " << session << " id " << id;
+      }
+      ::close(fd);
+    }
+
+    // Disarmed, the daemon must still answer a fresh WHERE before shutdown.
+    FaultPlan::disarm();
+    expect_daemon_answers(path, label);
+    shutdown_daemon(path);
+    server.join();
+  }
+}
+
+// --- the self-healing client under injected tears ---------------------------
+
+TEST_F(ChaosServiceTest, ClientHealsOneTornConnectionBitIdentically) {
+  const std::string path = ::testing::TempDir() + "/oms_chaos_heal.sock";
+  std::thread server([&] { serve_unix_socket(*service_, path); });
+
+  // Wait for the daemon, then retire the probe's worker before arming so
+  // the injected tear hits the client under test, not the probe session.
+  const int probe = connect_to(path);
+  ASSERT_GE(probe, 0);
+  ::close(probe);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  FaultPlan::arm(FaultPlan::parse("svc.read@1"));
+
+  ClientConfig config;
+  config.backoff_base_ms = 1;
+  config.backoff_cap_ms = 10;
+  ServiceClient client(path, config);
+  // The first request's read is torn by the fault; the client must
+  // reconnect, resend, and from then on answer bit-identically to the
+  // artifact for every lookup flavor.
+  for (std::uint64_t id = 0; id < 50; ++id) {
+    EXPECT_EQ(client.where(id),
+              static_cast<std::uint32_t>(service_->artifact().where(id)))
+        << "id " << id;
+  }
+  EXPECT_EQ(client.connects(), 2)
+      << "exactly one reconnect for exactly one injected tear";
+  const std::vector<std::uint64_t> ids{0, 7, 13, 42};
+  const std::vector<std::uint32_t> blocks = client.batch(ids);
+  ASSERT_EQ(blocks.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(blocks[i],
+              static_cast<std::uint32_t>(service_->artifact().where(ids[i])));
+  }
+  EXPECT_GT(client.stats().requests_served, 50u);
+  client.disconnect();
+
+  shutdown_daemon(path);
+  server.join();
+}
+
+} // namespace
+} // namespace oms::service

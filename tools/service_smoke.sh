@@ -9,6 +9,10 @@
 # 0 on its own. Phase 2 restarts from the snapshot over the stdin/stdout
 # transport and must answer the same WHERE queries identically, with METRICS
 # served on that transport too.
+# Phase 3 exercises the graceful drain: SIGTERM must answer the in-flight
+# request, refuse new work with a typed kShuttingDown, and exit 0. Phase 4
+# exercises admission control: with --max-conns 2 a third concurrent
+# connection gets a typed kOverloaded verdict and the daemon keeps serving.
 # Usage: service_smoke.sh <path-to-oms_serve>
 set -u
 
@@ -206,6 +210,187 @@ EOF
 else
   echo "FAIL: oms_serve --artifact session exited non-zero"
   failures=$((failures + 1))
+fi
+
+# Phase 3: graceful drain. SIGTERM while one request is in flight must
+# answer it, hand every other session (established or new) a typed
+# kShuttingDown verdict, and exit 0.
+socket3="$tmpdir/oms_drain.sock"
+"$serve" "$graph" --k 8 --socket "$socket3" 2> "$tmpdir/serve_drain.log" &
+drain_pid=$!
+
+python3 - "$socket3" "$drain_pid" <<'EOF'
+import os, signal, socket, struct, sys, time
+
+sock_path, pid = sys.argv[1], int(sys.argv[2])
+OK, SHUTTING_DOWN = 0, 7
+
+def connect():
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    for _ in range(400):  # the daemon partitions the graph before it listens
+        try:
+            s.connect(sock_path)
+            return s
+        except OSError:
+            time.sleep(0.05)
+    sys.exit("could not connect to " + sock_path)
+
+def read_frame(s):
+    buf = b""
+    while len(buf) < 4:
+        chunk = s.recv(4 - len(buf))
+        if not chunk:
+            return None  # clean close
+        buf += chunk
+    (length,) = struct.unpack("<I", buf)
+    reply = b""
+    while len(reply) < length:
+        chunk = s.recv(length - len(reply))
+        if not chunk:
+            sys.exit("server hung up mid-reply")
+        reply += chunk
+    return struct.unpack("<I", reply[:4])[0]
+
+idle = connect()
+idle.sendall(struct.pack("<I", 12) + struct.pack("<IQ", 1, 3))
+if read_frame(idle) != OK:
+    sys.exit("pre-drain WHERE failed")
+
+# Park a frame in flight: the full prefix plus 4 of 12 body bytes, then a
+# stall — that session must be answered, not cut off, by the drain.
+inflight = connect()
+body = struct.pack("<IQ", 1, 7)
+inflight.sendall(struct.pack("<I", len(body)) + body[:4])
+time.sleep(0.3)  # let its worker start reading the body
+
+os.kill(pid, signal.SIGTERM)
+
+# The idle session gets one unsolicited kShuttingDown, then EOF.
+if read_frame(idle) != SHUTTING_DOWN:
+    sys.exit("idle session did not get the kShuttingDown verdict")
+if read_frame(idle) is not None:
+    sys.exit("idle session not closed after the drain verdict")
+idle.close()
+
+# A new connection during the drain is refused with the same typed verdict.
+late = connect()
+if read_frame(late) != SHUTTING_DOWN:
+    sys.exit("late connection did not get the kShuttingDown verdict")
+late.close()
+
+# The in-flight frame is finished and answered before its session drains.
+inflight.sendall(body[4:])
+if read_frame(inflight) != OK:
+    sys.exit("in-flight request was not answered during the drain")
+if read_frame(inflight) != SHUTTING_DOWN:
+    sys.exit("in-flight session did not drain after its answer")
+inflight.close()
+EOF
+drain_client_rc=$?
+if [ "$drain_client_rc" -ne 0 ]; then
+  kill "$drain_pid" 2> /dev/null
+fi
+wait "$drain_pid"
+drain_rc=$?
+if [ "$drain_client_rc" -ne 0 ] || [ "$drain_rc" -ne 0 ]; then
+  echo "FAIL: graceful drain (client rc $drain_client_rc, daemon rc $drain_rc, want 0)"
+  sed 's/^/  serve: /' "$tmpdir/serve_drain.log"
+  failures=$((failures + 1))
+elif ! grep -q "drained" "$tmpdir/serve_drain.log"; then
+  echo "FAIL: daemon log does not report a drain"
+  sed 's/^/  serve: /' "$tmpdir/serve_drain.log"
+  failures=$((failures + 1))
+else
+  echo "ok   [SIGTERM drain: in-flight answered, new work refused kShuttingDown, exit 0]"
+fi
+
+# Phase 4: admission control. With --max-conns 2 a third concurrent
+# connection is shed with a typed kOverloaded verdict; freed slots readmit.
+socket4="$tmpdir/oms_overload.sock"
+"$serve" "$graph" --k 8 --socket "$socket4" --max-conns 2 \
+  2> "$tmpdir/serve_overload.log" &
+overload_pid=$!
+
+python3 - "$socket4" <<'EOF'
+import socket, struct, sys, time
+
+sock_path = sys.argv[1]
+OK, OVERLOADED = 0, 6
+
+def connect():
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    for _ in range(400):
+        try:
+            s.connect(sock_path)
+            return s
+        except OSError:
+            time.sleep(0.05)
+    sys.exit("could not connect to " + sock_path)
+
+def read_frame(s):
+    buf = b""
+    while len(buf) < 4:
+        chunk = s.recv(4 - len(buf))
+        if not chunk:
+            return None
+        buf += chunk
+    (length,) = struct.unpack("<I", buf)
+    reply = b""
+    while len(reply) < length:
+        chunk = s.recv(length - len(reply))
+        if not chunk:
+            sys.exit("server hung up mid-reply")
+        reply += chunk
+    return struct.unpack("<I", reply[:4])[0]
+
+# Two holders fill both slots; a round trip each proves their workers are
+# live, not merely queued in the listen backlog.
+holders = []
+for _ in range(2):
+    s = connect()
+    s.sendall(struct.pack("<I", 12) + struct.pack("<IQ", 1, 1))
+    if read_frame(s) != OK:
+        sys.exit("holder WHERE failed")
+    holders.append(s)
+
+# The third connection gets one unsolicited kOverloaded verdict, then EOF.
+third = connect()
+if read_frame(third) != OVERLOADED:
+    sys.exit("third connection did not get the kOverloaded verdict")
+if read_frame(third) is not None:
+    sys.exit("shed connection not closed after the verdict")
+third.close()
+for s in holders:
+    s.close()
+
+# Freed slots readmit: shut down cleanly, retrying while the reaper catches
+# up with the just-closed holders. A retry can itself be shed (verdict then
+# close, racing our send into EPIPE) — that just means "not yet".
+for _ in range(100):
+    s = connect()
+    try:
+        s.sendall(struct.pack("<I", 4) + struct.pack("<I", 6))
+        verdict = read_frame(s)
+    except OSError:
+        verdict = None
+    s.close()
+    if verdict == OK:
+        sys.exit(0)
+    time.sleep(0.05)
+sys.exit("could not shut the daemon down after the overload check")
+EOF
+overload_client_rc=$?
+if [ "$overload_client_rc" -ne 0 ]; then
+  kill "$overload_pid" 2> /dev/null
+fi
+wait "$overload_pid"
+overload_rc=$?
+if [ "$overload_client_rc" -ne 0 ] || [ "$overload_rc" -ne 0 ]; then
+  echo "FAIL: overload shedding (client rc $overload_client_rc, daemon rc $overload_rc, want 0)"
+  sed 's/^/  serve: /' "$tmpdir/serve_overload.log"
+  failures=$((failures + 1))
+else
+  echo "ok   [--max-conns 2: third connection shed kOverloaded, freed slots readmit]"
 fi
 
 if [ "$failures" -ne 0 ]; then
